@@ -1,0 +1,49 @@
+"""CONGEST / CONGESTED-CLIQUE / LOCAL simulator and distributed primitives."""
+
+from .message import BandwidthViolation, Message, payload_words
+from .network import (
+    CongestedCliqueNetwork,
+    CongestNetwork,
+    LocalNetwork,
+    SimulationResult,
+)
+from .node import EchoProgram, IdleProgram, NodeProgram
+from .primitives import (
+    BfsTree,
+    BfsTreeProgram,
+    BroadcastProgram,
+    ConvergecastSumProgram,
+    DiffusionProgram,
+    FloodMinProgram,
+    broadcast_value,
+    build_bfs_tree,
+    convergecast_sum,
+    degree_proportional_sampling,
+    distributed_truncated_walk,
+    elect_leader,
+)
+
+__all__ = [
+    "BandwidthViolation",
+    "BfsTree",
+    "BfsTreeProgram",
+    "BroadcastProgram",
+    "CongestNetwork",
+    "CongestedCliqueNetwork",
+    "ConvergecastSumProgram",
+    "DiffusionProgram",
+    "EchoProgram",
+    "FloodMinProgram",
+    "IdleProgram",
+    "LocalNetwork",
+    "Message",
+    "NodeProgram",
+    "SimulationResult",
+    "broadcast_value",
+    "build_bfs_tree",
+    "convergecast_sum",
+    "degree_proportional_sampling",
+    "distributed_truncated_walk",
+    "elect_leader",
+    "payload_words",
+]

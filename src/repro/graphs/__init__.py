@@ -1,0 +1,51 @@
+"""Graph substrate: the self-loop aware graph, generators, metrics, spectral tools."""
+
+from .graph import Graph
+from .metrics import (
+    CutResult,
+    balance,
+    brute_force_triangles,
+    conductance,
+    cut_size,
+    estimate_conductance,
+    estimate_mixing_time,
+    graph_conductance_exact,
+    mixing_time_bounds,
+    most_balanced_sparse_cut_exact,
+    triangle_count,
+    volume,
+)
+from .spectral import (
+    SweepCut,
+    cheeger_bounds,
+    effective_conductance,
+    is_expander,
+    spectral_gap,
+    sweep_cut,
+    sweep_cut_conductance,
+)
+from . import generators
+
+__all__ = [
+    "Graph",
+    "CutResult",
+    "SweepCut",
+    "balance",
+    "brute_force_triangles",
+    "cheeger_bounds",
+    "conductance",
+    "cut_size",
+    "effective_conductance",
+    "estimate_conductance",
+    "estimate_mixing_time",
+    "generators",
+    "graph_conductance_exact",
+    "is_expander",
+    "mixing_time_bounds",
+    "most_balanced_sparse_cut_exact",
+    "spectral_gap",
+    "sweep_cut",
+    "sweep_cut_conductance",
+    "triangle_count",
+    "volume",
+]

@@ -1,0 +1,410 @@
+"""Synthetic graph families used in tests, examples, and benchmarks.
+
+The paper evaluates nothing empirically, so all experiments in this
+reproduction run on synthetic families with *known* structure:
+
+* random regular graphs — high conductance w.h.p., the canonical expander;
+* barbell / bridged expanders — a single planted sparse cut with controllable
+  balance, the worst case for naive sparse-cut algorithms;
+* ring of cliques and planted partitions — graphs whose ideal expander
+  decomposition is known by construction;
+* paths, cycles, grids, hypercubes, complete graphs, Erdős–Rényi graphs —
+  reference points for the low-diameter decomposition and triangle workloads.
+
+Every generator takes a ``seed`` (or an already-constructed
+:class:`numpy.random.Generator`) so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .graph import Graph
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def _rng(seed: SeedLike) -> np.random.Generator:
+    """Normalise a seed-like value into a numpy Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+# ----------------------------------------------------------------------
+# deterministic families
+# ----------------------------------------------------------------------
+def path_graph(n: int) -> Graph:
+    """Path on vertices ``0 .. n-1``."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    g = Graph(vertices=range(n))
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on vertices ``0 .. n-1`` (requires n >= 3)."""
+    if n < 3:
+        raise ValueError("cycle needs at least 3 vertices")
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def complete_graph(n: int) -> Graph:
+    """Complete graph K_n."""
+    g = Graph(vertices=range(n))
+    for u, v in itertools.combinations(range(n), 2):
+        g.add_edge(u, v)
+    return g
+
+
+def star_graph(n: int) -> Graph:
+    """Star with center 0 and ``n - 1`` leaves."""
+    if n < 1:
+        raise ValueError("star needs at least 1 vertex")
+    g = Graph(vertices=range(n))
+    for v in range(1, n):
+        g.add_edge(0, v)
+    return g
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """rows x cols grid; vertices are ``(r, c)`` tuples."""
+    g = Graph(vertices=((r, c) for r in range(rows) for c in range(cols)))
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                g.add_edge((r, c), (r + 1, c))
+            if c + 1 < cols:
+                g.add_edge((r, c), (r, c + 1))
+    return g
+
+
+def hypercube_graph(dimension: int) -> Graph:
+    """Boolean hypercube Q_d on ``2**dimension`` integer-labelled vertices."""
+    if dimension < 0:
+        raise ValueError("dimension must be non-negative")
+    n = 1 << dimension
+    g = Graph(vertices=range(n))
+    for v in range(n):
+        for bit in range(dimension):
+            u = v ^ (1 << bit)
+            if u > v:
+                g.add_edge(v, u)
+    return g
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """Complete bipartite graph K_{a,b}; left part 0..a-1, right part a..a+b-1."""
+    g = Graph(vertices=range(a + b))
+    for u in range(a):
+        for v in range(a, a + b):
+            g.add_edge(u, v)
+    return g
+
+
+def binary_tree_graph(depth: int) -> Graph:
+    """Complete binary tree of the given depth (heap-indexed vertices)."""
+    n = (1 << (depth + 1)) - 1
+    g = Graph(vertices=range(n))
+    for v in range(1, n):
+        g.add_edge(v, (v - 1) // 2)
+    return g
+
+
+# ----------------------------------------------------------------------
+# random families
+# ----------------------------------------------------------------------
+def erdos_renyi_graph(n: int, p: float, seed: SeedLike = None) -> Graph:
+    """G(n, p) Erdős–Rényi graph."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    rng = _rng(seed)
+    g = Graph(vertices=range(n))
+    if p == 0.0 or n < 2:
+        return g
+    # Vectorised sampling of the upper triangle keeps this usable at n ~ 2000.
+    upper = np.triu_indices(n, k=1)
+    mask = rng.random(len(upper[0])) < p
+    for u, v in zip(upper[0][mask], upper[1][mask]):
+        g.add_edge(int(u), int(v))
+    return g
+
+
+def random_regular_graph(n: int, degree: int, seed: SeedLike = None) -> Graph:
+    """Random ``degree``-regular graph via repeated configuration-model trials.
+
+    Random regular graphs are expanders w.h.p.; they are the positive examples
+    for conductance certification and the substrate for routing experiments.
+    """
+    if n * degree % 2 != 0:
+        raise ValueError("n * degree must be even")
+    if degree >= n:
+        raise ValueError("degree must be less than n")
+    rng = _rng(seed)
+    for _ in range(200):
+        stubs = np.repeat(np.arange(n), degree)
+        rng.shuffle(stubs)
+        edges = set()
+        ok = True
+        for i in range(0, len(stubs), 2):
+            u, v = int(stubs[i]), int(stubs[i + 1])
+            if u == v or frozenset((u, v)) in edges:
+                ok = False
+                break
+            edges.add(frozenset((u, v)))
+        if ok:
+            g = Graph(vertices=range(n))
+            for e in edges:
+                u, v = tuple(e)
+                g.add_edge(u, v)
+            return g
+    # Fall back to networkx's more careful sampler if rejection keeps failing.
+    import networkx as nx
+
+    nx_seed = int(rng.integers(0, 2**31 - 1))
+    return Graph.from_networkx(nx.random_regular_graph(degree, n, seed=nx_seed))
+
+
+def barbell_expanders(
+    n_per_side: int,
+    degree: int = 8,
+    bridge_edges: int = 1,
+    seed: SeedLike = None,
+) -> Graph:
+    """Two random regular expanders joined by ``bridge_edges`` bridge edges.
+
+    The bridge is the unique sparse cut; its conductance is roughly
+    ``bridge_edges / (n_per_side * degree)`` and its balance is 1/2, making
+    this the canonical positive instance for the nearly most balanced sparse
+    cut algorithm (Theorem 3).
+    """
+    rng = _rng(seed)
+    left = random_regular_graph(n_per_side, degree, rng)
+    g = Graph()
+    for v in left.vertices():
+        g.add_vertex(("L", v))
+    for u, v in left.edges():
+        g.add_edge(("L", u), ("L", v))
+    right = random_regular_graph(n_per_side, degree, rng)
+    for v in right.vertices():
+        g.add_vertex(("R", v))
+    for u, v in right.edges():
+        g.add_edge(("R", u), ("R", v))
+    for i in range(bridge_edges):
+        g.add_edge(("L", i % n_per_side), ("R", i % n_per_side))
+    return g
+
+
+def unbalanced_bridged_expanders(
+    n_small: int,
+    n_large: int,
+    degree: int = 8,
+    bridge_edges: int = 1,
+    seed: SeedLike = None,
+) -> Graph:
+    """Two expanders of different sizes joined by a thin bridge.
+
+    The most balanced sparse cut has balance roughly
+    ``n_small / (n_small + n_large)``; used to exercise the ``b/2`` branch of
+    Theorem 3's balance guarantee.
+    """
+    rng = _rng(seed)
+    degree_small = min(degree, n_small - 1)
+    if n_small * degree_small % 2 == 1:
+        degree_small -= 1
+    if degree_small < 1:
+        raise ValueError("n_small too small to build an expander side")
+    small = random_regular_graph(n_small, degree_small, rng)
+    large = random_regular_graph(n_large, degree, rng)
+    g = Graph()
+    for v in small.vertices():
+        g.add_vertex(("S", v))
+    for u, v in small.edges():
+        g.add_edge(("S", u), ("S", v))
+    for v in large.vertices():
+        g.add_vertex(("B", v))
+    for u, v in large.edges():
+        g.add_edge(("B", u), ("B", v))
+    for i in range(bridge_edges):
+        g.add_edge(("S", i % n_small), ("B", i % n_large))
+    return g
+
+
+def ring_of_cliques(num_cliques: int, clique_size: int) -> Graph:
+    """``num_cliques`` cliques of size ``clique_size`` joined in a ring.
+
+    The ideal expander decomposition is "one component per clique"; the ring
+    edges are the inter-component edges.  Also a dense triangle workload.
+    """
+    if num_cliques < 2 or clique_size < 2:
+        raise ValueError("need at least 2 cliques of size at least 2")
+    g = Graph()
+    for c in range(num_cliques):
+        members = [(c, i) for i in range(clique_size)]
+        for v in members:
+            g.add_vertex(v)
+        for u, v in itertools.combinations(members, 2):
+            g.add_edge(u, v)
+    for c in range(num_cliques):
+        g.add_edge((c, 0), ((c + 1) % num_cliques, 1 % clique_size))
+    return g
+
+
+def planted_partition_graph(
+    num_communities: int,
+    community_size: int,
+    p_in: float,
+    p_out: float,
+    seed: SeedLike = None,
+) -> Graph:
+    """Stochastic block model with equal-size communities.
+
+    With ``p_in >> p_out`` each community is an expander and the planted
+    partition is (close to) the optimal expander decomposition.
+    Vertices are ``(community, index)`` pairs.
+    """
+    if not (0 <= p_out <= p_in <= 1):
+        raise ValueError("need 0 <= p_out <= p_in <= 1")
+    rng = _rng(seed)
+    g = Graph()
+    members = {
+        c: [(c, i) for i in range(community_size)] for c in range(num_communities)
+    }
+    for vs in members.values():
+        for v in vs:
+            g.add_vertex(v)
+    for c, vs in members.items():
+        for u, v in itertools.combinations(vs, 2):
+            if rng.random() < p_in:
+                g.add_edge(u, v)
+    for c1, c2 in itertools.combinations(range(num_communities), 2):
+        for u in members[c1]:
+            for v in members[c2]:
+                if rng.random() < p_out:
+                    g.add_edge(u, v)
+    return g
+
+
+def power_law_graph(n: int, exponent: float = 2.5, seed: SeedLike = None) -> Graph:
+    """Configuration-model-ish graph with a power-law degree sequence.
+
+    Low-degree tails are what the CPZ baseline peels off into its
+    low-arboricity part, so this family stresses the difference between the
+    paper's decomposition and the baseline.
+    """
+    rng = _rng(seed)
+    degrees = np.clip(
+        np.round(rng.pareto(exponent - 1, size=n) + 1).astype(int), 1, max(2, n // 4)
+    )
+    if degrees.sum() % 2 == 1:
+        degrees[int(np.argmax(degrees))] += 1
+    stubs = np.repeat(np.arange(n), degrees)
+    rng.shuffle(stubs)
+    g = Graph(vertices=range(n))
+    for i in range(0, len(stubs) - 1, 2):
+        u, v = int(stubs[i]), int(stubs[i + 1])
+        if u != v:
+            g.add_edge(u, v)
+    return g
+
+
+def dumbbell_cliques(clique_size: int, path_length: int) -> Graph:
+    """Two cliques connected by a path of the given length.
+
+    A classic low-conductance instance whose sparse cut is extremely
+    unbalanced in *vertices* but balanced in *volume*.
+    """
+    g = Graph()
+    left = [("L", i) for i in range(clique_size)]
+    right = [("R", i) for i in range(clique_size)]
+    for group in (left, right):
+        for v in group:
+            g.add_vertex(v)
+        for u, v in itertools.combinations(group, 2):
+            g.add_edge(u, v)
+    prev = left[0]
+    for i in range(path_length):
+        node = ("P", i)
+        g.add_vertex(node)
+        g.add_edge(prev, node)
+        prev = node
+    g.add_edge(prev, right[0])
+    return g
+
+
+def disjoint_cliques(num_cliques: int, clique_size: int) -> Graph:
+    """Disjoint union of cliques (a graph that is already decomposed)."""
+    g = Graph()
+    for c in range(num_cliques):
+        members = [(c, i) for i in range(clique_size)]
+        for v in members:
+            g.add_vertex(v)
+        for u, v in itertools.combinations(members, 2):
+            g.add_edge(u, v)
+    return g
+
+
+def triangle_rich_graph(n: int, p: float = 0.3, seed: SeedLike = None) -> Graph:
+    """Erdős–Rényi graph with extra planted triangles.
+
+    Guarantees a known set of planted triangles (each on a fresh vertex
+    triple) so enumeration tests can assert specific triangles are reported.
+    """
+    rng = _rng(seed)
+    g = erdos_renyi_graph(n, p, rng)
+    planted = max(1, n // 10)
+    vertices = list(range(n))
+    for _ in range(planted):
+        a, b, c = (int(x) for x in rng.choice(vertices, size=3, replace=False))
+        g.add_edge(a, b)
+        g.add_edge(b, c)
+        g.add_edge(a, c)
+    return g
+
+
+def relabel_to_integers(graph: Graph) -> tuple[Graph, dict]:
+    """Relabel arbitrary vertex names to ``0 .. n-1``.
+
+    Returns the relabelled graph and the mapping ``old -> new``.  The CONGEST
+    simulator and the routing layer index node programs by integer id, so
+    generators with tuple-labelled vertices go through this shim.
+    """
+    mapping = {v: i for i, v in enumerate(sorted(graph.vertices(), key=repr))}
+    g = Graph(vertices=range(len(mapping)))
+    for u, v in graph.edges():
+        g.add_edge(mapping[u], mapping[v])
+    for v in graph.vertices():
+        loops = graph.self_loops(v)
+        if loops:
+            g.add_self_loops(mapping[v], loops)
+    return g, mapping
+
+
+def union_of_graphs(graphs: Sequence[Graph], bridge_edges: int = 0,
+                    seed: SeedLike = None) -> Graph:
+    """Disjoint union of graphs, optionally connected by random bridges.
+
+    Vertices are relabelled to ``(index_of_graph, original_vertex)``.
+    """
+    rng = _rng(seed)
+    g = Graph()
+    for idx, sub in enumerate(graphs):
+        for v in sub.vertices():
+            g.add_vertex((idx, v))
+        for u, v in sub.edges():
+            g.add_edge((idx, u), (idx, v))
+    if bridge_edges and len(graphs) > 1:
+        parts = [[(i, v) for v in sub.vertices()] for i, sub in enumerate(graphs)]
+        for _ in range(bridge_edges):
+            i, j = rng.choice(len(graphs), size=2, replace=False)
+            u = parts[int(i)][int(rng.integers(len(parts[int(i)])))]
+            v = parts[int(j)][int(rng.integers(len(parts[int(j)])))]
+            g.add_edge(u, v)
+    return g

@@ -1,0 +1,280 @@
+"""Graph-quality metrics from the paper's terminology section.
+
+Exact (exponential) computations are provided for small graphs so tests can
+certify algorithm output against ground truth; estimators based on the lazy
+random walk / spectral gap cover the larger graphs used in benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .graph import Graph, Vertex
+
+
+# ----------------------------------------------------------------------
+# cut-level quantities (thin wrappers; the Graph methods are authoritative)
+# ----------------------------------------------------------------------
+def volume(graph: Graph, subset: Optional[Iterable[Vertex]] = None) -> int:
+    """Vol(S) with respect to ``graph`` (whole graph if ``subset`` is None)."""
+    return graph.volume(subset)
+
+
+def cut_size(graph: Graph, subset: Iterable[Vertex]) -> int:
+    """|∂(S)|."""
+    return graph.cut_size(subset)
+
+
+def conductance(graph: Graph, subset: Iterable[Vertex]) -> float:
+    """Φ(S) = |∂(S)| / min{Vol(S), Vol(S̄)}."""
+    return graph.conductance_of_cut(subset)
+
+
+def balance(graph: Graph, subset: Iterable[Vertex]) -> float:
+    """bal(S) = min{Vol(S), Vol(S̄)} / Vol(V)."""
+    return graph.balance_of_cut(subset)
+
+
+def edge_boundary(graph: Graph, subset: Iterable[Vertex]):
+    """∂(S) as a list of edges."""
+    return graph.cut_edges(subset)
+
+
+# ----------------------------------------------------------------------
+# graph conductance
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CutResult:
+    """A cut together with its quality numbers."""
+
+    subset: frozenset
+    conductance: float
+    balance: float
+    cut_size: int
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self.subset) == 0
+
+
+def graph_conductance_exact(graph: Graph) -> CutResult:
+    """Exact Φ(G) by enumerating all 2^{n-1} cuts.
+
+    Only feasible for ``n <= ~18``; used as ground truth in tests.  The
+    returned cut attains the minimum conductance.  Degenerate graphs (fewer
+    than two vertices, or zero volume) report infinite conductance.
+    """
+    vertices = list(graph.vertices())
+    n = len(vertices)
+    if n < 2 or graph.total_volume() == 0:
+        return CutResult(frozenset(), float("inf"), 0.0, 0)
+    if n > 22:
+        raise ValueError("exact conductance is exponential; use estimate_conductance")
+    anchor = vertices[0]
+    rest = vertices[1:]
+    best: Optional[CutResult] = None
+    for r in range(0, len(rest) + 1):
+        for combo in itertools.combinations(rest, r):
+            subset = set(combo) | {anchor}
+            if len(subset) == n:
+                continue
+            phi = graph.conductance_of_cut(subset)
+            if best is None or phi < best.conductance:
+                best = CutResult(
+                    frozenset(subset),
+                    phi,
+                    graph.balance_of_cut(subset),
+                    graph.cut_size(subset),
+                )
+    assert best is not None
+    return best
+
+
+def most_balanced_sparse_cut_exact(graph: Graph, phi: float) -> CutResult:
+    """Exact most-balanced cut among all cuts of conductance at most ``phi``.
+
+    Exponential in n; test-only ground truth for Theorem 3's parameter ``b``.
+    Returns an empty cut if no cut of conductance at most ``phi`` exists.
+    """
+    vertices = list(graph.vertices())
+    n = len(vertices)
+    if n > 22:
+        raise ValueError("exact most-balanced cut is exponential in n")
+    if n < 2:
+        return CutResult(frozenset(), float("inf"), 0.0, 0)
+    anchor = vertices[0]
+    rest = vertices[1:]
+    best: Optional[CutResult] = None
+    for r in range(0, len(rest) + 1):
+        for combo in itertools.combinations(rest, r):
+            subset = set(combo) | {anchor}
+            if len(subset) == n:
+                continue
+            cond = graph.conductance_of_cut(subset)
+            if cond > phi:
+                continue
+            bal = graph.balance_of_cut(subset)
+            if best is None or bal > best.balance:
+                best = CutResult(frozenset(subset), cond, bal, graph.cut_size(subset))
+    if best is None:
+        return CutResult(frozenset(), float("inf"), 0.0, 0)
+    return best
+
+
+def estimate_conductance(graph: Graph, num_eigs: int = 2) -> float:
+    """Cheeger-style lower/upper sandwich midpoint via the spectral gap.
+
+    Uses the normalised Laplacian's second eigenvalue λ₂:
+    ``λ₂ / 2 <= Φ(G) <= sqrt(2 λ₂)``.  Returns the sweep-cut value, which lies
+    inside the sandwich and is usually an excellent estimate.
+    """
+    from .spectral import sweep_cut_conductance
+
+    return sweep_cut_conductance(graph)
+
+
+# ----------------------------------------------------------------------
+# mixing time (paper Section 1: Θ(1/Φ) <= τ_mix <= Θ(log n / Φ²))
+# ----------------------------------------------------------------------
+def mixing_time_bounds(graph: Graph, phi: Optional[float] = None) -> tuple[float, float]:
+    """Return the (lower, upper) mixing-time bounds implied by conductance.
+
+    If ``phi`` is not supplied it is estimated spectrally.
+    """
+    if phi is None:
+        phi = estimate_conductance(graph)
+    if phi <= 0:
+        return float("inf"), float("inf")
+    n = max(graph.num_vertices, 2)
+    return 1.0 / phi, math.log(n) / (phi * phi)
+
+
+def estimate_mixing_time(
+    graph: Graph, tolerance: float = 0.25, max_steps: int = 10_000
+) -> int:
+    """Empirical mixing time of the lazy random walk.
+
+    Runs the exact power iteration of the lazy walk matrix from a worst-case
+    point mass (the minimum-degree vertex) and returns the first step at which
+    the total variation distance to the degree-stationary distribution drops
+    below ``tolerance``.  Returns ``max_steps`` if it never does.
+    """
+    import numpy as np
+
+    vertices = list(graph.vertices())
+    if not vertices:
+        return 0
+    index = {v: i for i, v in enumerate(vertices)}
+    n = len(vertices)
+    degrees = np.array([graph.degree(v) for v in vertices], dtype=float)
+    total = degrees.sum()
+    if total == 0:
+        return 0
+    stationary = degrees / total
+    # Build the lazy walk transition matrix column-stochastically: M = (A D^-1 + I)/2,
+    # where self loops keep their probability mass at the vertex.
+    matrix = np.zeros((n, n))
+    for v in vertices:
+        j = index[v]
+        deg = graph.degree(v)
+        if deg == 0:
+            matrix[j, j] = 1.0
+            continue
+        matrix[j, j] += 0.5 + 0.5 * graph.self_loops(v) / deg
+        for u in graph.neighbors(v):
+            matrix[index[u], j] += 0.5 / deg
+    start = int(np.argmin(degrees))
+    p = np.zeros(n)
+    p[start] = 1.0
+    for step in range(1, max_steps + 1):
+        p = matrix @ p
+        if 0.5 * np.abs(p - stationary).sum() < tolerance:
+            return step
+    return max_steps
+
+
+# ----------------------------------------------------------------------
+# arboricity (used to describe the CPZ baseline's extra part)
+# ----------------------------------------------------------------------
+def degeneracy(graph: Graph) -> int:
+    """Degeneracy (max over the peeling order of the min remaining degree).
+
+    Degeneracy is a 2-approximation of arboricity; we use it to measure the
+    "extra part" produced by the CPZ-style baseline decomposition.
+    """
+    remaining = {v: graph.proper_degree(v) for v in graph.vertices()}
+    adj = {v: set(graph.neighbors(v)) for v in graph.vertices()}
+    best = 0
+    # Simple O(n log n + m) bucket-free peeling; graphs here are modest.
+    import heapq
+
+    heap = [(d, v) for v, d in remaining.items()]
+    heapq.heapify(heap)
+    removed: set = set()
+    while heap:
+        d, v = heapq.heappop(heap)
+        if v in removed or d != remaining[v]:
+            continue
+        removed.add(v)
+        best = max(best, d)
+        for u in adj[v]:
+            if u not in removed:
+                remaining[u] -= 1
+                heapq.heappush(heap, (remaining[u], u))
+    return best
+
+
+def arboricity_upper_bound(graph: Graph) -> int:
+    """Upper bound on arboricity via degeneracy (arboricity <= degeneracy)."""
+    return max(1, degeneracy(graph)) if graph.num_edges else 0
+
+
+def densest_subgraph_density(graph: Graph, iterations: int = 30) -> float:
+    """Approximate maximum subgraph density via iterative peeling (Charikar 1/2-approx).
+
+    Nash–Williams: arboricity = max over subgraphs of ⌈m_S / (n_S - 1)⌉, so
+    this density estimate gives a lower bound companion to
+    :func:`arboricity_upper_bound`.
+    """
+    best = 0.0
+    remaining = set(graph.vertices())
+    degrees = {v: graph.proper_degree(v) for v in remaining}
+    edges_left = graph.num_edges
+    adj = {v: set(graph.neighbors(v)) for v in remaining}
+    while len(remaining) >= 2:
+        best = max(best, edges_left / len(remaining))
+        victim = min(remaining, key=lambda v: degrees[v])
+        for u in adj[victim]:
+            if u in remaining:
+                degrees[u] -= 1
+                adj[u].discard(victim)
+                edges_left -= 1
+        remaining.discard(victim)
+    return best
+
+
+# ----------------------------------------------------------------------
+# triangle ground truth
+# ----------------------------------------------------------------------
+def brute_force_triangles(graph: Graph) -> set[frozenset]:
+    """All triangles of the graph as frozensets of three vertices.
+
+    O(sum_v deg(v)^2); fine for the graph sizes used in tests and benchmarks,
+    and the ground truth every enumeration algorithm is checked against.
+    """
+    triangles: set[frozenset] = set()
+    for v in graph.vertices():
+        nbrs = sorted(graph.neighbors(v), key=repr)
+        for i, u in enumerate(nbrs):
+            for w in nbrs[i + 1:]:
+                if graph.has_edge(u, w):
+                    triangles.add(frozenset((v, u, w)))
+    return triangles
+
+
+def triangle_count(graph: Graph) -> int:
+    """Number of triangles in the graph."""
+    return len(brute_force_triangles(graph))

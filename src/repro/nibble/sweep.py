@@ -1,0 +1,119 @@
+"""Prefix-sweep machinery shared by Nibble and ApproximateNibble.
+
+Both algorithms order the support of the truncated walk vector by
+ρ̃_t(v) = p̃_t(v)/deg(v) (ties broken by vertex identifier, as the paper
+allows) and then examine prefixes π̃_t(1..j).  This module materialises the
+ordering once per time step and exposes prefix volume, prefix cut size, and
+prefix conductance incrementally, so a full sweep costs O(Vol(support)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..graphs.graph import Graph, Vertex
+
+
+@dataclass
+class SweepState:
+    """Incremental statistics of the prefixes of one ordering."""
+
+    graph: Graph
+    order: list[Vertex]
+    rho: dict[Vertex, float]
+    total_volume: int
+    prefix_volume: list[int]
+    prefix_cut: list[int]
+
+    @property
+    def jmax(self) -> int:
+        """Largest prefix index (1-based) with positive truncated mass."""
+        return len(self.order)
+
+    def volume(self, j: int) -> int:
+        """Vol(π̃(1..j)); ``j`` is 1-based, j = 0 gives 0."""
+        return self.prefix_volume[j]
+
+    def cut_size(self, j: int) -> int:
+        """|∂(π̃(1..j))| in the graph."""
+        return self.prefix_cut[j]
+
+    def conductance(self, j: int) -> float:
+        """Φ(π̃(1..j)) = cut / min(volume, total - volume)."""
+        vol = self.prefix_volume[j]
+        denom = min(vol, self.total_volume - vol)
+        if denom <= 0:
+            return float("inf")
+        return self.prefix_cut[j] / denom
+
+    def rho_at(self, j: int) -> float:
+        """ρ̃ of the j-th vertex in the ordering (1-based)."""
+        return self.rho[self.order[j - 1]]
+
+    def prefix(self, j: int) -> set[Vertex]:
+        """The prefix set π̃(1..j)."""
+        return set(self.order[:j])
+
+
+def build_sweep(graph: Graph, mass: Mapping[Vertex, float]) -> SweepState:
+    """Order the support of ``mass`` by ρ̃ and precompute prefix statistics.
+
+    The conductance is measured in ``graph`` (which, in the decomposition, is
+    already the degree-preserving subgraph G{U}).
+    """
+    rho = {
+        v: m / graph.degree(v)
+        for v, m in mass.items()
+        if m > 0.0 and graph.degree(v) > 0
+    }
+    order = sorted(rho, key=lambda v: (-rho[v], repr(v)))
+    total_volume = graph.total_volume()
+    prefix_volume = [0]
+    prefix_cut = [0]
+    inside: set[Vertex] = set()
+    cut = 0
+    vol = 0
+    for v in order:
+        vol += graph.degree(v)
+        for u in graph.neighbors(v):
+            if u in inside:
+                cut -= 1
+            else:
+                cut += 1
+        inside.add(v)
+        prefix_volume.append(vol)
+        prefix_cut.append(cut)
+    return SweepState(
+        graph=graph,
+        order=order,
+        rho=rho,
+        total_volume=total_volume,
+        prefix_volume=prefix_volume,
+        prefix_cut=prefix_cut,
+    )
+
+
+def candidate_indices(state: SweepState, phi: float) -> list[int]:
+    """The geometric candidate sequence (j_x) of ApproximateNibble.
+
+    j_1 = 1 and j_i = max(j_{i-1}+1, largest j with
+    Vol(π̃(1..j)) ≤ (1+φ) · Vol(π̃(1..j_{i-1}))), stopping once j_max is
+    reached.  There are O(φ⁻¹ log Vol) candidates.
+    """
+    jmax = state.jmax
+    if jmax == 0:
+        return []
+    candidates = [1]
+    while candidates[-1] < jmax:
+        prev = candidates[-1]
+        threshold = (1.0 + phi) * state.volume(prev)
+        # largest j with prefix volume below the threshold; prefix volumes are
+        # non-decreasing so a linear scan from prev is enough (total work over
+        # the whole candidate construction stays O(jmax)).
+        j = prev
+        while j < jmax and state.volume(j + 1) <= threshold:
+            j += 1
+        nxt = max(prev + 1, j)
+        candidates.append(min(nxt, jmax))
+    return candidates

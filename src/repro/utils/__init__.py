@@ -1,0 +1,28 @@
+"""Shared utilities: round accounting, RNG handling, concentration bounds."""
+
+from .chernoff import (
+    bounded_dependence_upper_tail,
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    min_samples_for_failure,
+    whp_threshold,
+)
+from .rng import SeedLike, ensure_rng, exponential_shift, random_id, sample_by_degree, spawn
+from .rounds import RoundReport, parallel_rounds, sequential_rounds
+
+__all__ = [
+    "RoundReport",
+    "SeedLike",
+    "bounded_dependence_upper_tail",
+    "chernoff_lower_tail",
+    "chernoff_upper_tail",
+    "ensure_rng",
+    "exponential_shift",
+    "min_samples_for_failure",
+    "parallel_rounds",
+    "random_id",
+    "sample_by_degree",
+    "sequential_rounds",
+    "spawn",
+    "whp_threshold",
+]

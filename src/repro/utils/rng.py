@@ -1,0 +1,54 @@
+"""Randomness handling.
+
+CONGEST vertices have unlimited *local* randomness but no shared randomness.
+For reproducibility every algorithm in this library threads a single
+:class:`numpy.random.Generator` (or an integer seed) through its call tree;
+:func:`ensure_rng` normalises either form, and :func:`spawn` derives
+independent per-vertex streams, which models "each vertex flips its own
+coins" without any hidden global state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a numpy Generator from an int seed, an existing Generator, or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators (per-vertex randomness)."""
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)]
+
+
+def exponential_shift(rng: np.random.Generator, beta: float) -> float:
+    """Sample Exponential(beta) (mean 1/beta), as used by MPX clustering."""
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    return float(rng.exponential(scale=1.0 / beta))
+
+
+def sample_by_degree(rng: np.random.Generator, degrees: dict, total: Optional[int] = None):
+    """Sample one vertex proportionally to its degree (the ψ_V distribution)."""
+    items = list(degrees.items())
+    weights = np.array([d for _, d in items], dtype=float)
+    if total is None:
+        total = weights.sum()
+    if total <= 0:
+        raise ValueError("cannot sample from a zero-volume graph")
+    probabilities = weights / weights.sum()
+    idx = int(rng.choice(len(items), p=probabilities))
+    return items[idx][0]
+
+
+def random_id(rng: np.random.Generator, bits: int = 48) -> int:
+    """A random identifier of the given bit length (ParallelNibble instance ids)."""
+    return int(rng.integers(0, 1 << bits))

@@ -1,0 +1,152 @@
+"""Lazy random walks and their truncated variants (paper Appendix A).
+
+The Nibble family works with the sequence
+
+    p̃_0 = χ_v,      p̃_t = [M p̃_{t-1}]_{ε_b}
+
+where ``M = (A D^{-1} + I) / 2`` is the lazy walk matrix and ``[p]_ε`` zeroes
+any entry below ``2 ε deg(x)``.  Everything here operates on sparse
+dictionaries (vertex -> mass) rather than dense vectors: the whole point of
+the truncation is that the walk's support stays local (Lemma 3), and the
+sparse representation is what makes the distributed implementation's
+congestion argument meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from ..graphs.graph import Graph, Vertex
+
+MassVector = dict[Vertex, float]
+
+
+def point_mass(vertex: Vertex) -> MassVector:
+    """χ_v: all probability mass on one vertex."""
+    return {vertex: 1.0}
+
+
+def degree_distribution(graph: Graph, subset: Optional[Iterable[Vertex]] = None) -> MassVector:
+    """ψ_S: mass deg(v)/Vol(S) on each v of S (whole graph by default)."""
+    vertices = list(subset) if subset is not None else list(graph.vertices())
+    total = graph.volume(vertices)
+    if total == 0:
+        raise ValueError("cannot normalise over a zero-volume set")
+    return {v: graph.degree(v) / total for v in vertices if graph.degree(v) > 0}
+
+
+def total_mass(p: Mapping[Vertex, float]) -> float:
+    """Sum of the entries of a mass vector."""
+    return float(sum(p.values()))
+
+
+def lazy_walk_step(graph: Graph, p: Mapping[Vertex, float]) -> MassVector:
+    """One step of the lazy random walk: return ``M p``.
+
+    Self loops keep their probability share at the vertex, matching the
+    degree convention of G{S}.
+    """
+    result: MassVector = {}
+    for v, mass in p.items():
+        if mass <= 0.0:
+            continue
+        deg = graph.degree(v)
+        if deg == 0:
+            result[v] = result.get(v, 0.0) + mass
+            continue
+        keep = mass * (0.5 + 0.5 * graph.self_loops(v) / deg)
+        result[v] = result.get(v, 0.0) + keep
+        share = mass / (2.0 * deg)
+        for u in graph.neighbors(v):
+            result[u] = result.get(u, 0.0) + share
+    return result
+
+
+def truncate(graph: Graph, p: Mapping[Vertex, float], epsilon: float) -> MassVector:
+    """[p]_ε: zero every entry with ``p(x) < 2 ε deg(x)``."""
+    return {
+        v: mass
+        for v, mass in p.items()
+        if mass >= 2.0 * epsilon * graph.degree(v) and mass > 0.0
+    }
+
+
+def truncated_walk_step(graph: Graph, p: Mapping[Vertex, float], epsilon: float) -> MassVector:
+    """One truncated lazy walk step: ``[M p]_ε``."""
+    return truncate(graph, lazy_walk_step(graph, p), epsilon)
+
+
+def truncated_walk_sequence(
+    graph: Graph, start: Vertex, steps: int, epsilon: float
+) -> list[MassVector]:
+    """The sequence p̃_0, ..., p̃_steps from a point mass at ``start``."""
+    if start not in graph:
+        raise KeyError(f"start vertex {start!r} not in graph")
+    sequence = [point_mass(start)]
+    current = sequence[0]
+    for _ in range(steps):
+        current = truncated_walk_step(graph, current, epsilon)
+        sequence.append(current)
+        if not current:
+            # All mass fell below the truncation threshold; the rest of the
+            # sequence is identically zero, no need to keep stepping.
+            remaining = steps - (len(sequence) - 1)
+            sequence.extend({} for _ in range(remaining))
+            break
+    return sequence
+
+
+def exact_walk_sequence(graph: Graph, start: Vertex, steps: int) -> list[MassVector]:
+    """The untruncated sequence p_0, ..., p_steps (reference / tests)."""
+    sequence = [point_mass(start)]
+    current = sequence[0]
+    for _ in range(steps):
+        current = lazy_walk_step(graph, current)
+        sequence.append(current)
+    return sequence
+
+
+def normalized_mass(graph: Graph, p: Mapping[Vertex, float]) -> MassVector:
+    """ρ(x) = p(x) / deg(x) (entries with zero degree are skipped)."""
+    return {v: mass / graph.degree(v) for v, mass in p.items() if graph.degree(v) > 0}
+
+
+def support(p: Mapping[Vertex, float]) -> set[Vertex]:
+    """Vertices carrying strictly positive mass."""
+    return {v for v, mass in p.items() if mass > 0.0}
+
+
+def support_volume(graph: Graph, p: Mapping[Vertex, float]) -> int:
+    """Vol of the support of ``p`` — the congestion quantity of Lemma 3."""
+    return graph.volume(support(p))
+
+
+def participating_edges(graph: Graph, sequence: Iterable[Mapping[Vertex, float]]) -> set[frozenset]:
+    """The edge set P* of Definition 2: edges with an endpoint touched by the walk.
+
+    An edge participates if at least one endpoint has positive (truncated)
+    mass at some time step of the sequence.
+    """
+    touched: set[Vertex] = set()
+    for p in sequence:
+        touched.update(support(p))
+    edges: set[frozenset] = set()
+    for v in touched:
+        for u in graph.neighbors(v):
+            edges.add(frozenset((u, v)))
+    return edges
+
+
+def escape_probability(
+    graph: Graph, subset: set[Vertex], start: Vertex, steps: int
+) -> float:
+    """Probability that mass started at ``start`` sits outside ``subset`` after ``steps``.
+
+    Used in tests of the "mass stays trapped inside a sparse cut" intuition
+    that underlies Nibble: for a φ-sparse S and most starts in S the escaped
+    mass after t0 steps stays below t0·φ.
+    """
+    current = point_mass(start)
+    for _ in range(steps):
+        current = lazy_walk_step(graph, current)
+    return float(sum(mass for v, mass in current.items() if v not in subset))
