@@ -1,0 +1,9 @@
+"""Reproduction of Chang & Saranurak (PODC 2019).
+
+Distributed expander decomposition: truncated lazy random walks (Nibble),
+the nearly most balanced sparse cut (Theorem 3), the recursive expander
+decomposition (Section 2), and a CONGEST simulator the distributed variants
+run on.
+"""
+
+__version__ = "0.1.0"

@@ -7,6 +7,11 @@ from .network import (
     LocalNetwork,
     SimulationResult,
 )
+from .nibble_program import (
+    DistributedNibbleResult,
+    distributed_nibble,
+    distributed_random_nibble,
+)
 from .node import EchoProgram, IdleProgram, NodeProgram
 from .primitives import (
     BfsTree,
@@ -15,12 +20,14 @@ from .primitives import (
     ConvergecastSumProgram,
     DiffusionProgram,
     FloodMinProgram,
+    LeaderDisagreement,
     broadcast_value,
     build_bfs_tree,
     convergecast_sum,
     degree_proportional_sampling,
     distributed_truncated_walk,
     elect_leader,
+    id_total_order_key,
 )
 
 __all__ = [
@@ -32,9 +39,11 @@ __all__ = [
     "CongestedCliqueNetwork",
     "ConvergecastSumProgram",
     "DiffusionProgram",
+    "DistributedNibbleResult",
     "EchoProgram",
     "FloodMinProgram",
     "IdleProgram",
+    "LeaderDisagreement",
     "LocalNetwork",
     "Message",
     "NodeProgram",
@@ -43,7 +52,10 @@ __all__ = [
     "build_bfs_tree",
     "convergecast_sum",
     "degree_proportional_sampling",
+    "distributed_nibble",
+    "distributed_random_nibble",
     "distributed_truncated_walk",
     "elect_leader",
+    "id_total_order_key",
     "payload_words",
 ]

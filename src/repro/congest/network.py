@@ -78,12 +78,19 @@ class CongestNetwork:
         max_rounds: int = 10_000,
         seed: SeedLike = None,
         stop_when_all_terminated: bool = True,
+        min_rounds: int = 0,
     ) -> SimulationResult:
         """Instantiate one program per vertex and run until quiescence.
 
         The run stops when (a) every node has terminated and no messages are
         in flight, (b) no node sent a message and none terminated this round
         (deadlock/quiescence), or (c) ``max_rounds`` is reached.
+
+        ``min_rounds`` disables the quiescence stop (b) for the first that
+        many rounds.  Fixed-round-budget algorithms (flood-min, diffusion)
+        legitimately go silent mid-run — every message is already delivered
+        but nodes still count rounds toward their termination condition —
+        and would otherwise be cut off before any node terminates.
         """
         rng = ensure_rng(seed)
         vertices = sorted(self.graph.vertices(), key=repr)
@@ -142,7 +149,12 @@ class CongestNetwork:
             in_flight = any(pending[v] for v in vertices)
             if stop_when_all_terminated and all_done and not in_flight:
                 break
-            if not any_message and not any_progress and not in_flight:
+            if (
+                round_number >= min_rounds
+                and not any_message
+                and not any_progress
+                and not in_flight
+            ):
                 break
 
         return SimulationResult(

@@ -1,0 +1,166 @@
+"""Distributed Nibble in the CONGEST model (paper Lemmas 9 and 10).
+
+Composition of the existing primitives:
+
+* the truncated walk vectors p̃_0..p̃_t0 come from :class:`DiffusionProgram`
+  (one diffusion round per walk step — Lemma 9's inner loop);
+* the certified cut's volume and boundary are *verified in-network*: a BFS
+  tree is built from the start vertex (:func:`build_bfs_tree`) and the cut's
+  Vol(S) and |∂(S)| are aggregated with :func:`convergecast_sum` — the
+  ``s(v)`` counters of Lemma 10;
+* ``distributed_random_nibble`` generates instances the way Lemma 10 does:
+  a leader is elected, a BFS tree is grown from it, and start vertices are
+  drawn by degree-proportional token dropping down that tree.
+
+The sweep certification itself reuses
+:func:`repro.nibble.nibble.scan_walk_sequence` on the in-network walk
+vectors, so a distributed run and a centralized
+:func:`repro.nibble.nibble.approximate_nibble` with the same start and scale
+produce the *same cut* whenever their walk vectors agree (which they do —
+the diffusion program performs the identical arithmetic; the parity test
+pins this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from ..graphs.graph import Graph
+from ..nibble.nibble import NibbleCut, scan_walk_sequence
+from ..nibble.parameters import NibbleParameters
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.rounds import RoundReport, parallel_rounds
+from .primitives import (
+    build_bfs_tree,
+    convergecast_sum,
+    degree_proportional_sampling,
+    distributed_truncated_walk,
+    elect_leader,
+)
+
+
+@dataclass(frozen=True)
+class DistributedNibbleResult:
+    """A cut found by the distributed Nibble, with its in-network verification."""
+
+    cut: NibbleCut
+    rounds: int
+    verified_volume: float
+    verified_cut_size: float
+
+    @property
+    def verified(self) -> bool:
+        """Whether the convergecast totals match the sweep's own statistics."""
+        return (
+            abs(self.verified_volume - self.cut.volume) < 1e-6
+            and abs(self.verified_cut_size - self.cut.cut_size) < 1e-6
+        )
+
+
+def distributed_nibble(
+    graph: Graph,
+    start: Hashable,
+    scale: int,
+    params: NibbleParameters,
+    seed: SeedLike = None,
+    report: Optional[RoundReport] = None,
+) -> Optional[DistributedNibbleResult]:
+    """Run one ApproximateNibble instance on the CONGEST simulator.
+
+    Returns ``None`` when no prefix certifies (the simulator rounds are still
+    charged to ``report``).  When a cut is found, its volume and boundary size
+    are recomputed with an in-network BFS-tree convergecast and reported in
+    ``verified_volume`` / ``verified_cut_size``.
+    """
+    if start not in graph:
+        raise KeyError(f"start vertex {start!r} not in graph")
+    if not 1 <= scale <= params.ell:
+        raise ValueError(f"scale b={scale} outside 1..ell={params.ell}")
+    rng = ensure_rng(seed)
+    epsilon = params.epsilon_b(scale)
+    vectors, walk_rounds = distributed_truncated_walk(
+        graph, start, epsilon, params.t0, seed=rng
+    )
+    total_rounds = walk_rounds
+    cut = scan_walk_sequence(graph, vectors, scale, params, start, approximate=True)
+    if report is not None:
+        report.subreport(f"diffusion(b={scale})").charge(walk_rounds)
+    if cut is None:
+        return None
+
+    # In-network verification of the certified cut (Lemma 10's s(v) counters).
+    tree = build_bfs_tree(graph, start, seed=rng)
+    inside = cut.vertices
+    volumes = {v: float(graph.degree(v)) if v in inside else 0.0 for v in graph.vertices()}
+    boundary = {
+        v: float(sum(1 for u in graph.neighbors(v) if u not in inside))
+        if v in inside
+        else 0.0
+        for v in graph.vertices()
+    }
+    volume_sums, up1 = convergecast_sum(graph, tree, volumes, seed=rng)
+    boundary_sums, up2 = convergecast_sum(graph, tree, boundary, seed=rng)
+    total_rounds += tree.rounds + up1 + up2
+    if report is not None:
+        report.subreport("verification").charge(tree.rounds + up1 + up2)
+    return DistributedNibbleResult(
+        cut=cut,
+        rounds=total_rounds,
+        verified_volume=volume_sums.get(start, 0.0),
+        verified_cut_size=boundary_sums.get(start, 0.0),
+    )
+
+
+def distributed_random_nibble(
+    graph: Graph,
+    params: NibbleParameters,
+    num_instances: Optional[int] = None,
+    seed: SeedLike = None,
+) -> tuple[Optional[DistributedNibbleResult], RoundReport]:
+    """Lemma 10's instance generation followed by parallel Nibble runs.
+
+    A leader is elected, a BFS tree is grown from it, and ``num_instances``
+    tokens are dropped degree-proportionally down the tree; each token
+    spawns one Nibble instance at the vertex it lands on, with a random
+    truncation scale b (P[b] ∝ 2^{-b}).  Instances run simultaneously in
+    CONGEST, so they are charged max-of-instances rounds.
+
+    Returns the best verified cut (lowest conductance, ties to volume) and
+    the :class:`RoundReport` tree of the whole pipeline.
+    """
+    from ..decomposition.sparse_cut import default_num_instances, sample_scale
+
+    rng = ensure_rng(seed)
+    report = RoundReport("distributed_random_nibble")
+    if num_instances is None:
+        num_instances = default_num_instances(graph)
+
+    leader, election_rounds = elect_leader(graph, seed=rng)
+    report.subreport("leader_election").charge(election_rounds)
+    tree = build_bfs_tree(graph, leader, seed=rng)
+    report.subreport("bfs_tree").charge(tree.rounds)
+    tokens, sampling_rounds = degree_proportional_sampling(
+        graph, tree, num_instances, seed=rng
+    )
+    report.subreport("token_sampling").charge(sampling_rounds)
+
+    best: Optional[DistributedNibbleResult] = None
+    instance_reports: list[RoundReport] = []
+    for vertex, count in sorted(tokens.items(), key=lambda kv: repr(kv[0])):
+        for _ in range(count):
+            instance_report = RoundReport(f"instance@{vertex!r}")
+            scale = sample_scale(rng, params.ell)
+            result = distributed_nibble(
+                graph, vertex, scale, params, seed=rng, report=instance_report
+            )
+            instance_reports.append(instance_report)
+            if result is None or not result.verified:
+                continue
+            if best is None or (
+                result.cut.conductance,
+                -result.cut.volume,
+            ) < (best.cut.conductance, -best.cut.volume):
+                best = result
+    report.add_child(parallel_rounds(instance_reports, label="nibble_instances"))
+    return best, report

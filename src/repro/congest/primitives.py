@@ -117,11 +117,41 @@ def build_bfs_tree(
 # ----------------------------------------------------------------------
 # flooding / leader election
 # ----------------------------------------------------------------------
+def id_total_order_key(identifier: Hashable) -> tuple:
+    """A total order over mixed-type node identifiers.
+
+    Numeric ids (ints, floats, bools) compare numerically; everything else
+    compares by ``(type name, repr)``, with all numerics ordered before all
+    non-numerics.  Unlike bare ``<`` (undefined across types) or per-pair
+    ``repr`` fallbacks (not transitive when mixed with native comparisons),
+    this key yields one transitive order every node agrees on.
+    """
+    if isinstance(identifier, (bool, int, float)):
+        # Compare the number itself: int/float cross-comparison is exact in
+        # Python, whereas coercing through float() overflows on big ints.
+        return (0, "", identifier, repr(identifier))
+    return (1, type(identifier).__name__, 0, repr(identifier))
+
+
+class LeaderDisagreement(RuntimeError):
+    """Raised when leader election ends with nodes disagreeing on the leader."""
+
+    def __init__(self, leaders: set) -> None:
+        super().__init__(
+            "leader election did not converge: nodes reported "
+            f"{len(leaders)} distinct leaders {sorted(leaders, key=id_total_order_key)!r} "
+            "(disconnected graph or insufficient rounds budget)"
+        )
+        self.leaders = leaders
+
+
 class FloodMinProgram(NodeProgram):
     """Every node learns the minimum identifier in its connected component.
 
     Runs for a fixed number of rounds (an upper bound on the diameter) and
     then terminates with the smallest id seen; the classic leader election.
+    "Smallest" is measured by :func:`id_total_order_key`, a single transitive
+    order shared by all nodes even when identifiers mix types.
     """
 
     def __init__(self, node_id, neighbors, rng, rounds_budget: int) -> None:
@@ -134,13 +164,12 @@ class FloodMinProgram(NodeProgram):
 
     def receive(self, round_number: int, inbox: Mapping[Hashable, Any]) -> Outbox:
         improved = False
+        best_key = id_total_order_key(self.best)
         for value in inbox.values():
-            if type(value) is type(self.best):
-                smaller = value < self.best
-            else:
-                smaller = repr(value) < repr(self.best)
-            if smaller:
+            key = id_total_order_key(value)
+            if key < best_key:
                 self.best = value
+                best_key = key
                 improved = True
         if round_number >= self.rounds_budget:
             self.terminate(self.best)
@@ -149,17 +178,31 @@ class FloodMinProgram(NodeProgram):
 
 
 def elect_leader(graph: Graph, seed: SeedLike = None) -> tuple[Hashable, int]:
-    """Return (leader id, rounds used) for the whole graph (assumed connected)."""
+    """Return (leader id, rounds used) for the whole graph.
+
+    Raises
+    ------
+    LeaderDisagreement
+        If nodes disagree on who the leader is (e.g. the graph is
+        disconnected).  Disagreement used to be papered over by picking an
+        arbitrary reported leader, which silently returned garbage on any
+        disconnected input.
+    """
     budget = max(1, graph.num_vertices)
     network = CongestNetwork(graph, bandwidth_words=2)
     result = network.run(
         lambda node_id, nbrs, rng: FloodMinProgram(node_id, nbrs, rng, rounds_budget=budget),
         max_rounds=budget + 2,
         seed=seed,
+        # The flood goes quiet once the minimum has spread, but nodes only
+        # terminate at round ``budget``; without the floor the simulator's
+        # quiescence stop would end the run with every output still None.
+        min_rounds=budget,
     )
     leaders = {out for out in result.outputs.values() if out is not None}
-    leader = min(leaders, key=repr)
-    return leader, result.rounds
+    if len(leaders) != 1:
+        raise LeaderDisagreement(leaders)
+    return next(iter(leaders)), result.rounds
 
 
 # ----------------------------------------------------------------------
@@ -361,7 +404,10 @@ def distributed_truncated_walk(
             degree_in_walk=graph.degree(node_id),
         )
 
-    result = network.run(factory, max_rounds=steps + 2, seed=seed)
+    # min_rounds: the walk may truncate to nothing (no messages) well before
+    # round ``steps``, but p̃_t is defined for every t up to the budget, so
+    # nodes must keep counting rounds until they terminate with full history.
+    result = network.run(factory, max_rounds=steps + 2, seed=seed, min_rounds=steps)
     vectors: list[dict[Hashable, float]] = [dict() for _ in range(steps + 1)]
     for v, history in result.outputs.items():
         if history is None:

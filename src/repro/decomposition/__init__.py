@@ -1,0 +1,31 @@
+"""Sparse cuts (Theorem 3) and the recursive expander decomposition (Theorem 1)."""
+
+from .expander import (
+    DecompositionResult,
+    ExpanderComponent,
+    expander_decomposition,
+    level_schedule,
+    recursion_depth_bound,
+)
+from .sparse_cut import (
+    SparseCutResult,
+    default_num_instances,
+    nearly_most_balanced_sparse_cut,
+    parallel_nibble,
+    random_nibble,
+    sample_scale,
+)
+
+__all__ = [
+    "DecompositionResult",
+    "ExpanderComponent",
+    "SparseCutResult",
+    "default_num_instances",
+    "expander_decomposition",
+    "level_schedule",
+    "nearly_most_balanced_sparse_cut",
+    "parallel_nibble",
+    "random_nibble",
+    "recursion_depth_bound",
+    "sample_scale",
+]

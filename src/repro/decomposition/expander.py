@@ -1,0 +1,243 @@
+"""Recursive (ε, φ) expander decomposition (paper Section 2, Theorem 1).
+
+Remove at most ε·m inter-component edges so that every remaining connected
+component certifies conductance at least φ.  The recursion:
+
+1. Work on ``W = G{U}`` — the induced subgraph with degree-preserving self
+   loops, always relative to the *original* graph, exactly as the paper's
+   recursion does.  Disconnected working graphs split into their connected
+   components for free (zero cut edges).
+2. Run the nearly most balanced sparse cut on W.  A non-empty cut S splits U
+   into S and U∖S; the crossing edges are charged to the removed-edge budget
+   and both sides recurse one level deeper.
+3. An empty cut is Theorem 3's certificate; the component is double-checked
+   with :func:`repro.graphs.spectral.certify_conductance`.  If the spectral
+   check disagrees (the probabilistic Nibble missed a sparse cut) its witness
+   cut — the exact minimum cut for small components, the Fiedler sweep cut
+   otherwise — is used as a deterministic fallback splitter so the output
+   guarantee never silently degrades.
+
+Levels are chained through the paper's h / h⁻¹ re-parameterisation: level i
+searches for cuts at θ_i where θ_0 = φ and θ_{i+1} = h⁻¹(θ_i) (Section 2's
+parameter schedule).  In PAPER mode the schedule is used verbatim; in
+PRACTICAL mode the search parameter is floored at φ (the schedule collapses
+to impractically small values within two levels — EXPERIMENTS.md discusses
+the trade-off), while the theoretical schedule is still reported.  The
+schedule length also bounds the recursion depth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..graphs.graph import Edge, Graph, Vertex
+from ..graphs.spectral import certify_conductance
+from ..nibble.parameters import ParameterMode, h_inverse
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.rounds import RoundReport
+from .sparse_cut import nearly_most_balanced_sparse_cut
+
+
+@dataclass(frozen=True)
+class ExpanderComponent:
+    """One output component of the decomposition."""
+
+    vertices: frozenset
+    certified: bool
+    conductance_estimate: float
+    level: int
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+
+@dataclass
+class DecompositionResult:
+    """An (ε, φ) expander decomposition together with its cost accounting."""
+
+    components: list[ExpanderComponent]
+    cut_edges: list[Edge]
+    epsilon: float
+    phi: float
+    num_edges: int
+    level_schedule: list[float]
+    report: RoundReport = field(default_factory=lambda: RoundReport("expander_decomposition"))
+
+    @property
+    def num_components(self) -> int:
+        return len(self.components)
+
+    @property
+    def inter_edge_fraction(self) -> float:
+        """Removed edges as a fraction of |E| (the ε·m budget check)."""
+        if self.num_edges == 0:
+            return 0.0
+        return len(self.cut_edges) / self.num_edges
+
+    @property
+    def within_budget(self) -> bool:
+        """Whether the removed edges respect the ε·m budget."""
+        return len(self.cut_edges) <= self.epsilon * self.num_edges
+
+    @property
+    def certified_fraction(self) -> float:
+        """Fraction of components whose conductance certificate succeeded."""
+        if not self.components:
+            return 1.0
+        return sum(1 for c in self.components if c.certified) / len(self.components)
+
+    def component_sets(self) -> list[frozenset]:
+        """The vertex sets alone, largest first."""
+        return sorted((c.vertices for c in self.components), key=len, reverse=True)
+
+
+def recursion_depth_bound(num_vertices: int) -> int:
+    """The paper's recursion-depth bound 2⌈log₂ n⌉ + 2: every level splits
+    off at least a constant fraction of the volume or terminates."""
+    return 2 * math.ceil(math.log2(max(num_vertices, 2))) + 2
+
+
+def level_schedule(
+    phi: float,
+    num_vertices: int,
+    mode: ParameterMode = ParameterMode.PRACTICAL,
+    max_levels: Optional[int] = None,
+    floor: float = 1e-9,
+) -> list[float]:
+    """The per-level cut parameters θ_0 = φ, θ_{i+1} = h⁻¹(θ_i).
+
+    Stops once the parameter hits ``floor`` or after ``max_levels`` entries
+    (default :func:`recursion_depth_bound`).
+    """
+    if max_levels is None:
+        max_levels = recursion_depth_bound(num_vertices)
+    schedule = [phi]
+    while len(schedule) < max_levels:
+        nxt = h_inverse(schedule[-1], num_vertices, mode)
+        if nxt < floor:
+            break
+        schedule.append(nxt)
+    return schedule
+
+
+def expander_decomposition(
+    graph: Graph,
+    epsilon: float,
+    phi: float,
+    mode: ParameterMode = ParameterMode.PRACTICAL,
+    seed: SeedLike = None,
+    max_depth: Optional[int] = None,
+    sparse_cut_kwargs: Optional[dict] = None,
+) -> DecompositionResult:
+    """Decompose ``graph`` into φ-expander components, removing ≤ ε·m edges.
+
+    Parameters
+    ----------
+    graph:
+        The host graph G.  All working graphs are ``G{U}`` relative to it.
+    epsilon:
+        Removed-edge budget as a fraction of |E| (reported, and checkable via
+        :attr:`DecompositionResult.within_budget`).
+    phi:
+        Conductance target each component must certify.
+    mode:
+        PAPER uses the verbatim parameter schedules; PRACTICAL (default) the
+        runnable ones.
+    max_depth:
+        Recursion depth cap; defaults to :func:`recursion_depth_bound`.
+        Components hit by the cap are emitted with their spectral
+        certificate as-is (usually ``certified=False``).
+    sparse_cut_kwargs:
+        Extra keyword arguments forwarded to
+        :func:`nearly_most_balanced_sparse_cut` (batch sizes, overrides).
+    """
+    rng = ensure_rng(seed)
+    report = RoundReport("expander_decomposition")
+    schedule = level_schedule(phi, graph.num_vertices, mode)
+    if max_depth is None:
+        max_depth = recursion_depth_bound(graph.num_vertices)
+    components: list[ExpanderComponent] = []
+    removed: list[Edge] = []
+
+    stack: list[tuple[frozenset, int]] = [(frozenset(graph.vertices()), 0)]
+    while stack:
+        subset, depth = stack.pop()
+        if not subset:
+            continue
+        work = graph.induced_with_loops(subset)
+
+        if len(subset) == 1 or work.num_edges == 0:
+            # Isolated vertices (all their degree is self loops) are
+            # vacuously φ-expanders: they admit no cut at all.
+            for v in subset:
+                components.append(
+                    ExpanderComponent(frozenset([v]), True, float("inf"), depth)
+                )
+            continue
+
+        pieces = work.connected_components()
+        if len(pieces) > 1:
+            # Splitting along existing components removes no edges.
+            for piece in pieces:
+                stack.append((frozenset(piece), depth))
+            continue
+
+        if depth >= max_depth:
+            certified, estimate, _ = certify_conductance(work, phi)
+            components.append(
+                ExpanderComponent(frozenset(subset), certified, estimate, depth)
+            )
+            continue
+
+        # Section 2's parameter chain; PRACTICAL floors the search at φ so
+        # deep levels keep finding the cuts the certification target demands.
+        theta = schedule[min(depth, len(schedule) - 1)]
+        search_phi = theta if mode is ParameterMode.PAPER else max(theta, phi)
+        level_report = report.subreport(f"level {depth} (n={len(subset)})")
+        cut_result = nearly_most_balanced_sparse_cut(
+            work,
+            search_phi,
+            mode=mode,
+            seed=rng,
+            report=level_report,
+            **(sparse_cut_kwargs or {}),
+        )
+
+        split: Optional[frozenset] = None
+        if not cut_result.is_empty:
+            split = cut_result.cut
+        else:
+            certified, estimate, witness = certify_conductance(work, phi)
+            if certified:
+                components.append(
+                    ExpanderComponent(frozenset(subset), True, estimate, depth)
+                )
+                continue
+            # Nibble certified "no cut" but the spectral check disagrees:
+            # split on the check's own witness cut so a missed sparse cut
+            # cannot silently produce an uncertified component.
+            if witness and len(witness) < len(subset):
+                level_report.subreport("fallback_split").charge(work.num_vertices)
+                split = frozenset(witness)
+            else:
+                components.append(
+                    ExpanderComponent(frozenset(subset), False, estimate, depth)
+                )
+                continue
+
+        rest = frozenset(subset - split)
+        removed.extend(work.cut_edges(split))
+        stack.append((split, depth + 1))
+        stack.append((rest, depth + 1))
+
+    return DecompositionResult(
+        components=components,
+        cut_edges=removed,
+        epsilon=epsilon,
+        phi=phi,
+        num_edges=graph.num_edges,
+        level_schedule=schedule,
+        report=report,
+    )

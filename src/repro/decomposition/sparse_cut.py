@@ -1,0 +1,194 @@
+"""RandomNibble, ParallelNibble, and the nearly most balanced sparse cut.
+
+Theorem 3 of the paper: given G and a conductance parameter φ, with high
+probability either output a cut S with Φ(S) ≤ h(φ) whose balance is within a
+factor two of the most balanced φ-sparse cut, or output S = ∅, certifying
+that no φ-sparse cut of substantial balance exists.
+
+The algorithm is the paper's Phase-1 loop:
+
+* ``random_nibble`` — one Nibble instance with a degree-proportional random
+  start vertex and a random truncation scale b (P[b] ∝ 2^{-b});
+* ``parallel_nibble`` — a batch of independent RandomNibble instances; in
+  CONGEST they run simultaneously, so the batch costs max (not sum) rounds;
+* ``nearly_most_balanced_sparse_cut`` — repeatedly run ParallelNibble on the
+  working graph G{U}; each found cut C is moved into S, every boundary edge
+  of C is removed with the degree-preserving ``Remove-j`` operation
+  (:meth:`Graph.remove_edge_with_loops`), and C's vertices leave the working
+  graph.  The loop stops once S is balanced enough or ``max_failures``
+  consecutive batches certify no further cut.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..graphs.graph import Graph, Vertex
+from ..nibble.nibble import NibbleCut, approximate_nibble
+from ..nibble.parameters import NibbleParameters, ParameterMode
+from ..utils.rng import SeedLike, ensure_rng, sample_by_degree
+from ..utils.rounds import RoundReport, parallel_rounds
+
+
+def sample_scale(rng: np.random.Generator, ell: int) -> int:
+    """Sample the truncation scale b ∈ {1..ℓ} with P[b = i] ∝ 2^{-i}."""
+    weights = np.array([2.0 ** (-i) for i in range(1, ell + 1)])
+    return int(rng.choice(np.arange(1, ell + 1), p=weights / weights.sum()))
+
+
+def random_nibble(
+    graph: Graph,
+    params: NibbleParameters,
+    rng: SeedLike = None,
+    report: Optional[RoundReport] = None,
+) -> Optional[NibbleCut]:
+    """One RandomNibble instance: random degree-proportional start, random b."""
+    rng = ensure_rng(rng)
+    degrees = {v: graph.degree(v) for v in graph.vertices() if graph.degree(v) > 0}
+    if not degrees:
+        return None
+    start = sample_by_degree(rng, degrees)
+    scale = sample_scale(rng, params.ell)
+    return approximate_nibble(graph, start, scale, params, report=report)
+
+
+def parallel_nibble(
+    graph: Graph,
+    params: NibbleParameters,
+    num_instances: int,
+    rng: SeedLike = None,
+    report: Optional[RoundReport] = None,
+) -> Optional[NibbleCut]:
+    """A batch of RandomNibble instances; returns the best cut found, if any.
+
+    In CONGEST the instances run simultaneously (Lemma 10 bounds their joint
+    congestion), so the batch is charged max-of-instances rounds, which
+    :func:`repro.utils.rounds.parallel_rounds` models.
+    """
+    rng = ensure_rng(rng)
+    instance_reports: list[RoundReport] = []
+    best: Optional[NibbleCut] = None
+    for i in range(num_instances):
+        instance_report = RoundReport(f"instance {i}")
+        cut = random_nibble(graph, params, rng, report=instance_report)
+        instance_reports.append(instance_report)
+        if cut is not None and (
+            best is None
+            or (cut.conductance, -cut.volume) < (best.conductance, -best.volume)
+        ):
+            best = cut
+    if report is not None:
+        report.add_child(parallel_rounds(instance_reports, label="parallel_nibble"))
+    return best
+
+
+@dataclass(frozen=True)
+class SparseCutResult:
+    """Output of the nearly most balanced sparse cut (Theorem 3)."""
+
+    cut: frozenset
+    conductance: float
+    balance: float
+    cut_size: int
+    certified_no_cut: bool
+    batches: int
+    report: RoundReport
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self.cut) == 0
+
+
+def default_num_instances(graph: Graph) -> int:
+    """Batch size for ParallelNibble: Θ(log m) independent instances."""
+    return max(4, math.ceil(math.log2(max(graph.num_edges, 2))))
+
+
+def nearly_most_balanced_sparse_cut(
+    graph: Graph,
+    phi: float,
+    mode: ParameterMode = ParameterMode.PRACTICAL,
+    seed: SeedLike = None,
+    balance_target: float = 1.0 / 3.0,
+    max_failures: int = 2,
+    num_instances: Optional[int] = None,
+    report: Optional[RoundReport] = None,
+    params_overrides: Optional[dict] = None,
+) -> SparseCutResult:
+    """Theorem 3: accumulate Nibble cuts into a nearly most balanced sparse cut.
+
+    The working graph starts as (a copy of) ``graph`` — callers hand in
+    ``G{U}`` directly — and is shrunk after every found cut C by the Remove-j
+    loop: every edge of ∂(C) is removed with a compensating self loop at both
+    endpoints (degrees never change, so conductance accounting at deeper
+    levels stays honest), after which C's vertices are discarded.
+
+    Stops when the accumulated S reaches ``balance_target`` of the total
+    volume or when ``max_failures`` consecutive ParallelNibble batches find
+    nothing.  An empty result with ``certified_no_cut=True`` is the
+    "no φ-sparse cut exists" certificate the expander decomposition consumes.
+    """
+    rng = ensure_rng(seed)
+    own_report = report if report is not None else RoundReport("sparse_cut")
+    work = graph.copy()
+    total_volume = graph.total_volume()
+    accumulated: set[Vertex] = set()
+    accumulated_volume = 0
+    failures = 0
+    batches = 0
+
+    while (
+        work.num_edges > 0
+        and failures < max_failures
+        and accumulated_volume < balance_target * total_volume
+    ):
+        params = NibbleParameters.for_mode(work, phi, mode, **(params_overrides or {}))
+        batch_size = num_instances or default_num_instances(work)
+        batches += 1
+        found = parallel_nibble(work, params, batch_size, rng, report=own_report)
+        if found is None or found.is_empty:
+            failures += 1
+            continue
+        failures = 0
+        cut_vertices = set(found.vertices)
+        # Keep S the small side of the working graph so its accumulation
+        # tracks the balance target rather than overshooting it.
+        if work.volume(cut_vertices) > work.total_volume() / 2.0:
+            cut_vertices = set(work.vertices()) - cut_vertices
+            if not cut_vertices:
+                failures += 1
+                continue
+        # Remove-j over ∂(C): degree-preserving edge removals, then drop C.
+        for u, v in work.cut_edges(cut_vertices):
+            work.remove_edge_with_loops(u, v)
+        for v in cut_vertices:
+            work.remove_vertex(v)
+        accumulated |= cut_vertices
+        accumulated_volume = graph.volume(accumulated)
+
+    if not accumulated:
+        return SparseCutResult(
+            cut=frozenset(),
+            conductance=float("inf"),
+            balance=0.0,
+            cut_size=0,
+            certified_no_cut=True,
+            batches=batches,
+            report=own_report,
+        )
+    # Report the small side of the final cut, measured in the input graph.
+    if graph.volume(accumulated) > total_volume / 2.0:
+        accumulated = set(graph.vertices()) - accumulated
+    return SparseCutResult(
+        cut=frozenset(accumulated),
+        conductance=graph.conductance_of_cut(accumulated),
+        balance=graph.balance_of_cut(accumulated),
+        cut_size=graph.cut_size(accumulated),
+        certified_no_cut=False,
+        batches=batches,
+        report=own_report,
+    )

@@ -2,6 +2,7 @@
 
 from .graph import Graph
 from .metrics import (
+    EXACT_ENUMERATION_LIMIT,
     CutResult,
     balance,
     brute_force_triangles,
@@ -17,6 +18,7 @@ from .metrics import (
 )
 from .spectral import (
     SweepCut,
+    certify_conductance,
     cheeger_bounds,
     effective_conductance,
     is_expander,
@@ -27,11 +29,13 @@ from .spectral import (
 from . import generators
 
 __all__ = [
+    "EXACT_ENUMERATION_LIMIT",
     "Graph",
     "CutResult",
     "SweepCut",
     "balance",
     "brute_force_triangles",
+    "certify_conductance",
     "cheeger_bounds",
     "conductance",
     "cut_size",

@@ -16,7 +16,7 @@ machinery (spectral estimates, generators, metrics) lives in sibling modules.
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Hashable, Iterable, Iterator
+from collections.abc import Hashable, Iterable, Iterator, Sequence
 from typing import Optional
 
 Vertex = Hashable
@@ -233,26 +233,50 @@ class Graph:
         return count
 
     def edges_within(self, subset: Iterable[Vertex]) -> list[Edge]:
-        """Return E(S): proper edges with both endpoints in ``subset``."""
+        """Return E(S): proper edges with both endpoints in ``subset``.
+
+        Deduplication uses a seen-set of frozensets, which only requires the
+        vertices to be hashable — mixed or unorderable vertex types are fine.
+        """
         inside = set(subset)
         out: list[Edge] = []
+        seen: set[frozenset] = set()
         for u in inside:
             for v in self._adj[u]:
-                if v in inside and (u, v) <= (v, u):
-                    out.append((u, v))
-        # ``(u, v) <= (v, u)`` is only a stable tie-break for orderable vertex
-        # types; fall back to a seen-set when that comparison is unavailable.
-        if len(out) * 2 != sum(1 for u in inside for v in self._adj[u] if v in inside):
-            out = []
-            seen: set[frozenset] = set()
-            for u in inside:
-                for v in self._adj[u]:
-                    if v in inside:
-                        key = frozenset((u, v))
-                        if key not in seen:
-                            seen.add(key)
-                            out.append((u, v))
+                if v in inside:
+                    key = frozenset((u, v))
+                    if key not in seen:
+                        seen.add(key)
+                        out.append((u, v))
         return out
+
+    def prefix_cut_profile(
+        self, order: Sequence[Vertex]
+    ) -> tuple[list[int], list[int]]:
+        """Incremental cut/volume statistics of the prefixes of ``order``.
+
+        Returns ``(prefix_volume, prefix_cut)`` indexed by prefix length
+        (index 0 is the empty prefix): ``prefix_volume[j] = Vol(order[:j])``
+        and ``prefix_cut[j] = |∂(order[:j])|``, in one pass over the
+        adjacency of the ordered vertices.  This is the scan shared by the
+        Nibble sweep and the spectral sweep cut.
+        """
+        prefix_volume = [0]
+        prefix_cut = [0]
+        inside: set[Vertex] = set()
+        vol = 0
+        cut = 0
+        for v in order:
+            vol += self.degree(v)
+            for u in self._adj[v]:
+                if u in inside:
+                    cut -= 1
+                else:
+                    cut += 1
+            inside.add(v)
+            prefix_volume.append(vol)
+            prefix_cut.append(cut)
+        return prefix_volume, prefix_cut
 
     def conductance_of_cut(self, subset: Iterable[Vertex]) -> float:
         """Φ(S) = |∂(S)| / min{Vol(S), Vol(S̄)} (``inf`` when a side is empty)."""

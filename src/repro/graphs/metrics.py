@@ -14,6 +14,12 @@ from typing import Iterable, Optional
 
 from .graph import Graph, Vertex
 
+#: Largest vertex count for which exact (2^{n-1}-cut) enumeration is used.
+#: ``graph_conductance_exact`` / ``most_balanced_sparse_cut_exact`` refuse
+#: larger inputs, and the spectral certifiers fall back to sweep cuts beyond
+#: it.  One constant so the exact/estimated boundary cannot drift apart again.
+EXACT_ENUMERATION_LIMIT = 16
+
 
 # ----------------------------------------------------------------------
 # cut-level quantities (thin wrappers; the Graph methods are authoritative)
@@ -63,16 +69,20 @@ class CutResult:
 def graph_conductance_exact(graph: Graph) -> CutResult:
     """Exact Φ(G) by enumerating all 2^{n-1} cuts.
 
-    Only feasible for ``n <= ~18``; used as ground truth in tests.  The
-    returned cut attains the minimum conductance.  Degenerate graphs (fewer
-    than two vertices, or zero volume) report infinite conductance.
+    Only feasible for ``n <= EXACT_ENUMERATION_LIMIT``; used as ground truth
+    in tests.  The returned cut attains the minimum conductance.  Degenerate
+    graphs (fewer than two vertices, or zero volume) report infinite
+    conductance.
     """
     vertices = list(graph.vertices())
     n = len(vertices)
     if n < 2 or graph.total_volume() == 0:
         return CutResult(frozenset(), float("inf"), 0.0, 0)
-    if n > 22:
-        raise ValueError("exact conductance is exponential; use estimate_conductance")
+    if n > EXACT_ENUMERATION_LIMIT:
+        raise ValueError(
+            f"exact conductance is exponential (n={n} > {EXACT_ENUMERATION_LIMIT}); "
+            "use estimate_conductance"
+        )
     anchor = vertices[0]
     rest = vertices[1:]
     best: Optional[CutResult] = None
@@ -101,8 +111,10 @@ def most_balanced_sparse_cut_exact(graph: Graph, phi: float) -> CutResult:
     """
     vertices = list(graph.vertices())
     n = len(vertices)
-    if n > 22:
-        raise ValueError("exact most-balanced cut is exponential in n")
+    if n > EXACT_ENUMERATION_LIMIT:
+        raise ValueError(
+            f"exact most-balanced cut is exponential in n (n={n} > {EXACT_ENUMERATION_LIMIT})"
+        )
     if n < 2:
         return CutResult(frozenset(), float("inf"), 0.0, 0)
     anchor = vertices[0]
@@ -124,12 +136,12 @@ def most_balanced_sparse_cut_exact(graph: Graph, phi: float) -> CutResult:
     return best
 
 
-def estimate_conductance(graph: Graph, num_eigs: int = 2) -> float:
-    """Cheeger-style lower/upper sandwich midpoint via the spectral gap.
+def estimate_conductance(graph: Graph) -> float:
+    """Conductance of the spectral sweep cut — an *upper bound* on Φ(G).
 
-    Uses the normalised Laplacian's second eigenvalue λ₂:
-    ``λ₂ / 2 <= Φ(G) <= sqrt(2 λ₂)``.  Returns the sweep-cut value, which lies
-    inside the sandwich and is usually an excellent estimate.
+    The sweep cut over the Fiedler vector lies inside the Cheeger sandwich
+    ``λ₂ / 2 <= Φ(G) <= sqrt(2 λ₂)`` and is usually an excellent estimate,
+    but it is one-sided: the true Φ(G) can be up to quadratically smaller.
     """
     from .spectral import sweep_cut_conductance
 
@@ -142,14 +154,28 @@ def estimate_conductance(graph: Graph, num_eigs: int = 2) -> float:
 def mixing_time_bounds(graph: Graph, phi: Optional[float] = None) -> tuple[float, float]:
     """Return the (lower, upper) mixing-time bounds implied by conductance.
 
-    If ``phi`` is not supplied it is estimated spectrally.
+    With ``phi`` given, both bounds use it directly.  Without it, each side
+    of the interval uses the side of the Cheeger sandwich that keeps it
+    valid: the sweep-cut value (an upper bound on Φ) for the ``1/Φ`` lower
+    bound, and λ₂/2 (a lower bound on Φ) for the ``log(n)/Φ²`` upper bound —
+    plugging the sweep value into the upper bound would shrink it below the
+    true mixing time whenever the Cheeger gap is quadratic.
     """
-    if phi is None:
-        phi = estimate_conductance(graph)
-    if phi <= 0:
-        return float("inf"), float("inf")
     n = max(graph.num_vertices, 2)
-    return 1.0 / phi, math.log(n) / (phi * phi)
+    if phi is not None:
+        if phi <= 0:
+            return float("inf"), float("inf")
+        return 1.0 / phi, math.log(n) / (phi * phi)
+    from .spectral import fiedler_scores, sweep_cut
+
+    if graph.num_vertices < 2 or graph.total_volume() == 0:
+        return 0.0, float("inf")
+    scores, lam2 = fiedler_scores(graph)  # one eigensolve serves both sides
+    phi_lower = lam2 / 2.0
+    phi_upper = sweep_cut(graph, scores).conductance
+    lower = 1.0 / phi_upper if phi_upper > 0 else float("inf")
+    upper = math.log(n) / (phi_lower * phi_lower) if phi_lower > 0 else float("inf")
+    return lower, upper
 
 
 def estimate_mixing_time(
@@ -164,28 +190,17 @@ def estimate_mixing_time(
     """
     import numpy as np
 
-    vertices = list(graph.vertices())
-    if not vertices:
+    from .spectral import degree_vector, lazy_walk_matrix
+
+    if graph.num_vertices == 0:
         return 0
-    index = {v: i for i, v in enumerate(vertices)}
-    n = len(vertices)
-    degrees = np.array([graph.degree(v) for v in vertices], dtype=float)
+    degrees = degree_vector(graph)
     total = degrees.sum()
     if total == 0:
         return 0
     stationary = degrees / total
-    # Build the lazy walk transition matrix column-stochastically: M = (A D^-1 + I)/2,
-    # where self loops keep their probability mass at the vertex.
-    matrix = np.zeros((n, n))
-    for v in vertices:
-        j = index[v]
-        deg = graph.degree(v)
-        if deg == 0:
-            matrix[j, j] = 1.0
-            continue
-        matrix[j, j] += 0.5 + 0.5 * graph.self_loops(v) / deg
-        for u in graph.neighbors(v):
-            matrix[index[u], j] += 0.5 / deg
+    matrix = lazy_walk_matrix(graph)
+    n = graph.num_vertices
     start = int(np.argmin(degrees))
     p = np.zeros(n)
     p[start] = 1.0
@@ -232,7 +247,7 @@ def arboricity_upper_bound(graph: Graph) -> int:
     return max(1, degeneracy(graph)) if graph.num_edges else 0
 
 
-def densest_subgraph_density(graph: Graph, iterations: int = 30) -> float:
+def densest_subgraph_density(graph: Graph) -> float:
     """Approximate maximum subgraph density via iterative peeling (Charikar 1/2-approx).
 
     Nash–Williams: arboricity = max over subgraphs of ⌈m_S / (n_S - 1)⌉, so

@@ -121,6 +121,23 @@ class SweepCut:
     balance: float
 
 
+def fiedler_scores(graph: Graph) -> tuple[dict[Vertex, float], float]:
+    """Fiedler embedding x/sqrt(deg) and λ₂ from one eigendecomposition.
+
+    The spectral sweep cut and the Cheeger certificate both derive from the
+    same eigenproblem; this helper computes it once for both consumers.
+    """
+    vertices, index = vertex_index(graph)
+    lap = normalized_laplacian(graph)
+    eigenvalues, eigenvectors = np.linalg.eigh(lap)
+    lam2 = float(max(0.0, eigenvalues[1]))
+    fiedler = eigenvectors[:, 1]
+    degrees = degree_vector(graph)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        embedding = np.where(degrees > 0, fiedler / np.sqrt(np.maximum(degrees, 1e-12)), 0.0)
+    return {v: float(embedding[index[v]]) for v in vertices}, lam2
+
+
 def sweep_cut(graph: Graph, scores: Optional[dict[Vertex, float]] = None) -> SweepCut:
     """Best prefix cut when vertices are sorted by ``scores``.
 
@@ -129,40 +146,25 @@ def sweep_cut(graph: Graph, scores: Optional[dict[Vertex, float]] = None) -> Swe
     This is the standard constructive side of Cheeger's inequality, and it is
     also the primitive the Nibble family applies to its truncated-walk vector.
     """
-    vertices, index = vertex_index(graph)
+    vertices, _ = vertex_index(graph)
     n = len(vertices)
     if n < 2 or graph.total_volume() == 0:
         return SweepCut(frozenset(), float("inf"), 0.0)
     if scores is None:
-        lap = normalized_laplacian(graph)
-        _, eigenvectors = np.linalg.eigh(lap)
-        fiedler = eigenvectors[:, 1]
-        degrees = degree_vector(graph)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            embedding = np.where(degrees > 0, fiedler / np.sqrt(np.maximum(degrees, 1e-12)), 0.0)
-        scores = {v: float(embedding[index[v]]) for v in vertices}
+        scores, _ = fiedler_scores(graph)
     order = sorted(vertices, key=lambda v: (-scores.get(v, 0.0), repr(v)))
     total_volume = graph.total_volume()
-    inside: set[Vertex] = set()
-    cut = 0
-    vol = 0
+    prefix_volume, prefix_cut = graph.prefix_cut_profile(order)
     best_phi = float("inf")
     best_prefix = 0
-    for i, v in enumerate(order[:-1]):
-        vol += graph.degree(v)
-        for u in graph.neighbors(v):
-            if u in inside:
-                cut -= 1
-            else:
-                cut += 1
-        inside.add(v)
-        denom = min(vol, total_volume - vol)
+    for j in range(1, n):  # proper prefixes only
+        denom = min(prefix_volume[j], total_volume - prefix_volume[j])
         if denom <= 0:
             continue
-        phi = cut / denom
+        phi = prefix_cut[j] / denom
         if phi < best_phi:
             best_phi = phi
-            best_prefix = i + 1
+            best_prefix = j
     subset = frozenset(order[:best_prefix])
     return SweepCut(subset, best_phi, graph.balance_of_cut(subset) if subset else 0.0)
 
@@ -172,32 +174,48 @@ def sweep_cut_conductance(graph: Graph) -> float:
     return sweep_cut(graph).conductance
 
 
-def is_expander(graph: Graph, phi: float) -> bool:
-    """Certify Φ(G) >= phi.
+def certify_conductance(
+    graph: Graph, phi: float
+) -> tuple[bool, float, Optional[frozenset]]:
+    """Certify Φ(G) >= phi; return ``(certified, estimate, witness)``.
 
-    Uses the Cheeger lower bound λ₂/2 when it already clears ``phi``;
-    otherwise falls back to exact enumeration for small graphs, and finally to
-    the sweep-cut upper bound heuristic (if even the best sweep cut is above
-    ``phi`` by a comfortable margin we accept, since the sweep cut is within
-    a quadratic factor of optimal).
+    The cheap Cheeger lower bound λ₂/2 is tried first — it settles most
+    genuine expanders in one eigensolve.  When it cannot certify, small
+    graphs are settled exactly by enumeration and larger ones report the
+    sweep cut from the same eigensolve as both estimate and witness.  (A
+    sweep-cut certification disjunct would be redundant: Cheeger's
+    sweep <= sqrt(2 λ₂) forces sweep²/4 <= λ₂/2, so no sweep value can
+    certify where λ₂/2 cannot.)
+
+    ``estimate`` is exact when enumeration ran and a sweep-cut upper bound
+    on Φ otherwise.  ``witness`` is the lowest-conductance cut the check
+    discovered — ``None`` when certified — so a failed certificate hands the
+    caller a deterministic splitter without recomputing the spectra.
     """
-    lower, _ = cheeger_bounds(graph)
-    if lower >= phi:
-        return True
-    if graph.num_vertices <= 16:
-        from .metrics import graph_conductance_exact
+    from .metrics import EXACT_ENUMERATION_LIMIT, graph_conductance_exact
 
-        return graph_conductance_exact(graph).conductance >= phi
-    sweep = sweep_cut_conductance(graph)
-    # sweep >= Phi >= sweep^2 / 2  (Cheeger), so Phi >= phi whenever
-    # sweep^2 / 2 >= phi.
-    return sweep * sweep / 2.0 >= phi
+    if graph.num_vertices < 2 or graph.total_volume() == 0:
+        return True, float("inf"), None  # no cut exists at all
+    scores, lam2 = fiedler_scores(graph)
+    if lam2 / 2.0 >= phi:
+        return True, sweep_cut(graph, scores).conductance, None
+    if graph.num_vertices <= EXACT_ENUMERATION_LIMIT:
+        exact = graph_conductance_exact(graph)
+        certified = exact.conductance >= phi
+        return certified, exact.conductance, None if certified else exact.subset
+    cut = sweep_cut(graph, scores)
+    return False, cut.conductance, cut.subset
+
+
+def is_expander(graph: Graph, phi: float) -> bool:
+    """Certify Φ(G) >= phi (see :func:`certify_conductance`)."""
+    return certify_conductance(graph, phi)[0]
 
 
 def effective_conductance(graph: Graph) -> float:
     """Best available estimate of Φ(G): exact when tiny, sweep cut otherwise."""
-    if graph.num_vertices <= 14:
-        from .metrics import graph_conductance_exact
+    from .metrics import EXACT_ENUMERATION_LIMIT, graph_conductance_exact
 
+    if graph.num_vertices <= EXACT_ENUMERATION_LIMIT:
         return graph_conductance_exact(graph).conductance
     return sweep_cut_conductance(graph)

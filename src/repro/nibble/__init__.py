@@ -1,0 +1,35 @@
+"""The Nibble family: parameter schedules, sweep machinery, certification."""
+
+from .nibble import (
+    NibbleCut,
+    approximate_nibble,
+    conditions_hold,
+    nibble,
+    scan_walk_sequence,
+)
+from .parameters import (
+    NibbleParameters,
+    ParameterMode,
+    f_function,
+    f_inverse,
+    h_function,
+    h_inverse,
+)
+from .sweep import SweepState, build_sweep, candidate_indices
+
+__all__ = [
+    "NibbleCut",
+    "NibbleParameters",
+    "ParameterMode",
+    "SweepState",
+    "approximate_nibble",
+    "build_sweep",
+    "candidate_indices",
+    "conditions_hold",
+    "f_function",
+    "f_inverse",
+    "h_function",
+    "h_inverse",
+    "nibble",
+    "scan_walk_sequence",
+]

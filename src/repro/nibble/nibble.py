@@ -1,0 +1,200 @@
+"""Nibble and ApproximateNibble (paper Appendix A / Spielman–Teng 2004).
+
+Both algorithms run the truncated lazy random walk
+
+    p̃_0 = χ_v,      p̃_t = [M p̃_{t-1}]_{ε_b}
+
+for ``t0`` steps and sweep each vector's support ordered by
+ρ̃_t(x) = p̃_t(x)/deg(x), looking for a prefix π̃_t(1..j) that satisfies the
+certification conditions
+
+    (C.1)  Φ(π̃_t(1..j)) ≤ φ
+    (C.2)  ρ̃_t at position j  ≥  γ / Vol(π̃_t(1..j))
+    (C.3)  (5/7)·2^{b-1}  ≤  Vol(π̃_t(1..j))  ≤  (5/6)·Vol(V)
+
+``Nibble`` examines every prefix of every time step.  ``ApproximateNibble``
+examines only the geometric candidate sequence of
+:func:`repro.nibble.sweep.candidate_indices` and relaxes the upper bound of
+(C.3) to 11/12 (condition (C.3*)), which is what makes the distributed
+implementation's round complexity independent of the cut volume.
+
+The shared certification scan, :func:`scan_walk_sequence`, is deliberately a
+pure function of the walk vectors: the distributed implementation
+(:mod:`repro.congest.nibble_program`) computes the same vectors with the
+CONGEST diffusion program and feeds them through this exact code path, so the
+centralized and distributed cuts agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Optional, Sequence
+
+from ..graphs.graph import Graph, Vertex
+from ..utils.rounds import RoundReport
+from ..walks.lazy_walk import truncated_walk_sequence
+from .parameters import NibbleParameters
+from .sweep import SweepState, build_sweep, candidate_indices
+
+
+@dataclass(frozen=True)
+class NibbleCut:
+    """A cut certified by the (C.1)–(C.3) conditions.
+
+    ``conductance``/``volume``/``cut_size`` are measured in the graph the
+    walk ran on (in the decomposition that graph is already ``G{U}``).
+    """
+
+    vertices: frozenset
+    conductance: float
+    volume: int
+    cut_size: int
+    time_step: int
+    prefix_index: int
+    scale: int
+    start: Hashable
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self.vertices) == 0
+
+
+def conditions_hold(
+    state: SweepState,
+    j: int,
+    scale: int,
+    params: NibbleParameters,
+    relaxed: bool = False,
+) -> bool:
+    """Check (C.1)–(C.3) for prefix ``j`` of one sweep at truncation scale ``b``.
+
+    ``relaxed=True`` uses the (C.3*) upper bound (11/12 instead of 5/6),
+    which is what ApproximateNibble certifies against.
+    """
+    vol = state.volume(j)
+    if vol <= 0:
+        return False
+    if state.conductance(j) > params.phi:  # (C.1)
+        return False
+    if state.rho_at(j) < params.gamma / vol:  # (C.2)
+        return False
+    max_fraction = (
+        params.relaxed_max_cut_volume_fraction
+        if relaxed
+        else params.max_cut_volume_fraction
+    )
+    return (  # (C.3) / (C.3*)
+        params.min_cut_volume(scale) <= vol <= max_fraction * state.total_volume
+    )
+
+
+def scan_walk_sequence(
+    graph: Graph,
+    sequence: Sequence[Mapping[Vertex, float]],
+    scale: int,
+    params: NibbleParameters,
+    start: Hashable,
+    approximate: bool = False,
+    return_first: bool = False,
+) -> Optional[NibbleCut]:
+    """Sweep every time step of ``sequence`` and return a certified cut.
+
+    With ``approximate=True`` only the geometric candidate prefixes are
+    examined and (C.3*) replaces (C.3) — the ApproximateNibble scan.  The
+    function is shared verbatim by the centralized and distributed Nibble so
+    their outputs coincide whenever their walk vectors do.
+
+    By default the *best* certified cut over all (t, j) is returned (lowest
+    conductance, ties to larger volume then earlier time).  The paper's
+    analysis only needs the first certified prefix (``return_first=True``),
+    but early time steps certify ragged cuts whose boundaries inflate the
+    decomposition's removed-edge budget; scanning the whole sequence costs no
+    extra walk steps and returns the cleaned-up cut the walk converges to.
+    """
+    best: Optional[NibbleCut] = None
+    for t, mass in enumerate(sequence):
+        if t == 0:
+            continue  # p̃_0 = χ_v is never certified (its prefix is trivial)
+        if not mass:
+            break  # all later vectors are identically zero
+        state = build_sweep(graph, mass)
+        if state.jmax == 0:
+            continue
+        if approximate:
+            indices = candidate_indices(state, params.phi)
+        else:
+            indices = range(1, state.jmax + 1)
+        for j in indices:
+            if not conditions_hold(state, j, scale, params, relaxed=approximate):
+                continue
+            cut = NibbleCut(
+                vertices=frozenset(state.prefix(j)),
+                conductance=state.conductance(j),
+                volume=state.volume(j),
+                cut_size=state.cut_size(j),
+                time_step=t,
+                prefix_index=j,
+                scale=scale,
+                start=start,
+            )
+            if return_first:
+                return cut
+            if best is None or (cut.conductance, -cut.volume) < (
+                best.conductance,
+                -best.volume,
+            ):
+                best = cut
+    return best
+
+
+def _charge_rounds(
+    report: Optional[RoundReport], label: str, params: NibbleParameters
+) -> None:
+    """Charge the paper's round cost for one Nibble instance.
+
+    Lemma 9 accounting, simplified to its leading terms: ``t0`` diffusion
+    rounds plus ``2ℓ`` rounds of sweep aggregation per examined scale.
+    """
+    if report is not None:
+        report.subreport(label).charge(params.t0 + 2 * params.ell)
+
+
+def nibble(
+    graph: Graph,
+    start: Vertex,
+    scale: int,
+    params: NibbleParameters,
+    report: Optional[RoundReport] = None,
+) -> Optional[NibbleCut]:
+    """Nibble(G, v, φ, b): exhaustive sweep certification (paper Appendix A).
+
+    Returns the best prefix satisfying (C.1)–(C.3) over all time steps (see
+    :func:`scan_walk_sequence` for the deviation from the paper's first-hit
+    rule), or ``None`` when no prefix of any of the ``t0`` truncated walk
+    vectors certifies.
+    """
+    if not 1 <= scale <= params.ell:
+        raise ValueError(f"scale b={scale} outside 1..ell={params.ell}")
+    sequence = truncated_walk_sequence(graph, start, params.t0, params.epsilon_b(scale))
+    _charge_rounds(report, f"nibble(b={scale})", params)
+    return scan_walk_sequence(graph, sequence, scale, params, start, approximate=False)
+
+
+def approximate_nibble(
+    graph: Graph,
+    start: Vertex,
+    scale: int,
+    params: NibbleParameters,
+    report: Optional[RoundReport] = None,
+) -> Optional[NibbleCut]:
+    """ApproximateNibble: candidate prefixes only, relaxed volume bound (C.3*).
+
+    The O(φ⁻¹ log Vol) candidate prefixes are the only ones a CONGEST node
+    set can afford to evaluate; Lemma 4 of the paper shows the relaxation
+    preserves the output guarantees up to constants.
+    """
+    if not 1 <= scale <= params.ell:
+        raise ValueError(f"scale b={scale} outside 1..ell={params.ell}")
+    sequence = truncated_walk_sequence(graph, start, params.t0, params.epsilon_b(scale))
+    _charge_rounds(report, f"approximate_nibble(b={scale})", params)
+    return scan_walk_sequence(graph, sequence, scale, params, start, approximate=True)

@@ -69,21 +69,7 @@ def build_sweep(graph: Graph, mass: Mapping[Vertex, float]) -> SweepState:
     }
     order = sorted(rho, key=lambda v: (-rho[v], repr(v)))
     total_volume = graph.total_volume()
-    prefix_volume = [0]
-    prefix_cut = [0]
-    inside: set[Vertex] = set()
-    cut = 0
-    vol = 0
-    for v in order:
-        vol += graph.degree(v)
-        for u in graph.neighbors(v):
-            if u in inside:
-                cut -= 1
-            else:
-                cut += 1
-        inside.add(v)
-        prefix_volume.append(vol)
-        prefix_cut.append(cut)
+    prefix_volume, prefix_cut = graph.prefix_cut_profile(order)
     return SweepState(
         graph=graph,
         order=order,

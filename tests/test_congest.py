@@ -1,0 +1,157 @@
+"""CONGEST primitive invariants: leader election, BFS trees, convergecast,
+degree-proportional sampling, and centralized/distributed walk parity."""
+
+import pytest
+
+from repro.congest import (
+    LeaderDisagreement,
+    build_bfs_tree,
+    convergecast_sum,
+    degree_proportional_sampling,
+    distributed_truncated_walk,
+    elect_leader,
+    id_total_order_key,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.generators import (
+    barbell_expanders,
+    grid_graph,
+    ring_of_cliques,
+    star_graph,
+)
+from repro.nibble import NibbleParameters
+from repro.walks.lazy_walk import truncated_walk_sequence
+
+
+class TestLeaderElection:
+    def test_elects_global_minimum(self):
+        g = ring_of_cliques(4, 5)  # diameter + 1 << n: needs the rebroadcast fix
+        leader, rounds = elect_leader(g, seed=0)
+        assert leader == min(g.vertices(), key=id_total_order_key)
+        assert rounds >= 1
+
+    def test_mixed_type_ids_do_not_crash_and_agree(self):
+        """Regression: per-pair repr fallback was not transitive across types."""
+        g = Graph(edges=[(1, "a"), ("a", (2, 3)), ((2, 3), frozenset({7})), (frozenset({7}), 1)])
+        leader, _ = elect_leader(g, seed=0)
+        assert leader == min(g.vertices(), key=id_total_order_key)
+
+    def test_disagreement_raises_instead_of_hiding(self):
+        """Regression: disconnected graphs used to return an arbitrary leader."""
+        g = Graph(edges=[(0, 1), (2, 3)])  # two components
+        with pytest.raises(LeaderDisagreement):
+            elect_leader(g, seed=0)
+
+    def test_huge_integer_ids_do_not_overflow(self):
+        """Regression: coercing ids through float() raised OverflowError for
+        ints >= 2**1024 (e.g. hash-derived node ids)."""
+        g = Graph(edges=[(10**400, 1), (1, "x"), ("x", 10**400)])
+        leader, _ = elect_leader(g, seed=0)
+        assert leader == 1
+
+    def test_id_total_order_key_is_transitive_over_mixed_ids(self):
+        ids = [3, "3", (1, 2), frozenset({5}), 2.5, "zz", True, 0]
+        keys = sorted(ids, key=id_total_order_key)
+        # sorted() succeeding is the point; numerics must come first
+        numeric_part = [x for x in keys if isinstance(x, (bool, int, float))]
+        assert keys[: len(numeric_part)] == numeric_part
+
+
+class TestBfsTree:
+    def test_depths_match_bfs_distances(self):
+        for g, root in [(grid_graph(4, 5), (0, 0)), (ring_of_cliques(3, 4), (1, 2))]:
+            tree = build_bfs_tree(g, root, seed=0)
+            assert tree.depth == g.bfs_distances(root)
+
+    def test_parent_edges_exist_and_decrease_depth(self):
+        g = barbell_expanders(8, degree=4, seed=0)
+        root = ("L", 0)
+        tree = build_bfs_tree(g, root, seed=1)
+        for v, p in tree.parent.items():
+            if p is None:
+                assert v == root
+            else:
+                assert g.has_edge(v, p)
+                assert tree.depth[v] == tree.depth[p] + 1
+
+
+class TestConvergecast:
+    def test_root_receives_global_sum(self):
+        g = grid_graph(4, 4)
+        tree = build_bfs_tree(g, (0, 0), seed=0)
+        values = {v: float(g.degree(v)) for v in g.vertices()}
+        sums, _ = convergecast_sum(g, tree, values, seed=0)
+        assert sums[(0, 0)] == pytest.approx(g.total_volume())
+
+    def test_leaf_reports_own_value(self):
+        g = star_graph(6)
+        tree = build_bfs_tree(g, 0, seed=0)
+        sums, _ = convergecast_sum(g, tree, {v: 1.0 for v in g.vertices()}, seed=0)
+        assert sums[3] == pytest.approx(1.0)
+        assert sums[0] == pytest.approx(g.num_vertices)
+
+
+class TestDegreeProportionalSampling:
+    def test_token_distribution_tracks_degree_over_volume(self):
+        g = ring_of_cliques(3, 6)
+        tree = build_bfs_tree(g, (0, 0), seed=0)
+        num_tokens = 4000
+        tokens, rounds = degree_proportional_sampling(g, tree, num_tokens, seed=42)
+        assert sum(tokens.values()) == num_tokens
+        total_volume = g.total_volume()
+        # Total variation between the empirical and target distributions.
+        tv = 0.5 * sum(
+            abs(tokens.get(v, 0) / num_tokens - g.degree(v) / total_volume)
+            for v in g.vertices()
+        )
+        assert tv < 0.08
+        assert rounds >= tree.height
+
+
+class TestWalkParity:
+    def test_centralized_vs_distributed_truncated_walk(self):
+        """The DiffusionProgram computes the same p̃_t as the centralized code
+        (identical keep/share arithmetic and truncation rule)."""
+        g = ring_of_cliques(4, 5)
+        params = NibbleParameters.practical(g, 0.1, max_t0=60)
+        epsilon = params.epsilon_b(1)
+        central = truncated_walk_sequence(g, (0, 0), params.t0, epsilon)
+        distributed, _ = distributed_truncated_walk(g, (0, 0), epsilon, params.t0, seed=0)
+        assert len(central) == len(distributed)
+        for t, (c, d) in enumerate(zip(central, distributed)):
+            assert set(c) == set(d), f"support differs at t={t}"
+            for v in c:
+                assert c[v] == pytest.approx(d[v], abs=1e-12), f"mass differs at t={t}"
+
+    def test_parity_when_mass_truncates_before_steps(self):
+        """Regression: when every mass truncates to zero before ``steps``
+        rounds, the simulator quiesces early; the partial histories must
+        still be decoded (padded with their stationary suffix) instead of
+        being discarded wholesale."""
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+        epsilon, steps = 0.02, 30
+        central = truncated_walk_sequence(g, 0, steps, epsilon)
+        distributed, _ = distributed_truncated_walk(g, 0, epsilon, steps, seed=0)
+        assert len(distributed) == steps + 1
+        assert any(central[t] for t in range(1, steps + 1))  # walk ran a while
+        assert not central[-1]  # ... but died before the budget
+        for t, (c, d) in enumerate(zip(central, distributed)):
+            assert set(c) == set(d), f"support differs at t={t}"
+            for v in c:
+                assert c[v] == pytest.approx(d[v], abs=1e-12)
+
+    def test_isolated_vertex_keeps_stationary_mass(self):
+        g = Graph(vertices=[0], edges=[(1, 2)])
+        distributed, _ = distributed_truncated_walk(g, 0, 1e-3, 10, seed=0)
+        assert all(vec.get(0) == pytest.approx(1.0) for vec in distributed)
+
+    def test_parity_with_self_loops(self):
+        g = ring_of_cliques(3, 4).induced_with_loops([(0, i) for i in range(4)])
+        params = NibbleParameters.practical(g, 0.2, max_t0=40)
+        epsilon = params.epsilon_b(1)
+        central = truncated_walk_sequence(g, (0, 1), params.t0, epsilon)
+        distributed, _ = distributed_truncated_walk(g, (0, 1), epsilon, params.t0, seed=0)
+        for c, d in zip(central, distributed):
+            assert set(c) == set(d)
+            for v in c:
+                assert c[v] == pytest.approx(d[v], abs=1e-12)

@@ -1,0 +1,70 @@
+"""Graph substrate invariants: edges_within, G{S} degree preservation, Remove-j."""
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import planted_partition_graph, ring_of_cliques
+
+
+class TestEdgesWithin:
+    def test_mixed_unorderable_vertex_types(self):
+        """Regression: the old (u, v) <= (v, u) tie-break raised TypeError for
+        mixed int/str/frozenset vertices before the seen-set fallback ran."""
+        g = Graph(
+            edges=[
+                (1, "a"),
+                ("a", frozenset({2})),
+                (frozenset({2}), 1),
+                (1, (3, 4)),
+            ]
+        )
+        edges = g.edges_within([1, "a", frozenset({2}), (3, 4)])
+        assert len(edges) == 4
+        keys = {frozenset(e) for e in edges}
+        assert len(keys) == 4  # each edge reported exactly once
+
+    def test_orderable_vertices_each_edge_once(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 0), (2, 3)])
+        edges = g.edges_within([0, 1, 2])
+        assert {frozenset(e) for e in edges} == {
+            frozenset((0, 1)),
+            frozenset((1, 2)),
+            frozenset((2, 0)),
+        }
+
+    def test_excludes_boundary_edges(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        assert g.edges_within([0, 1]) == [(0, 1)] or g.edges_within([0, 1]) == [(1, 0)]
+
+    def test_missing_vertex_raises(self):
+        g = Graph(edges=[(0, 1)])
+        with pytest.raises(KeyError):
+            g.edges_within([0, 99])
+
+
+class TestDegreePreservation:
+    def test_induced_with_loops_preserves_degrees(self):
+        """G{S}: every vertex of S keeps its host-graph degree (paper Sec. 2)."""
+        g = planted_partition_graph(3, 8, 0.8, 0.1, seed=2)
+        subset = [(0, i) for i in range(8)]
+        sub = g.induced_with_loops(subset)
+        for v in subset:
+            assert sub.degree(v) == g.degree(v)
+
+    def test_induced_with_loops_on_ring_of_cliques(self):
+        g = ring_of_cliques(4, 5)
+        clique = [(0, i) for i in range(5)]
+        sub = g.induced_with_loops(clique)
+        assert sub.num_self_loops == 2  # the two ring edges become loops
+        for v in clique:
+            assert sub.degree(v) == g.degree(v)
+
+    def test_remove_edge_with_loops_never_changes_degrees(self):
+        """The Remove-j operation of Section 2."""
+        g = ring_of_cliques(3, 4)
+        before = {v: g.degree(v) for v in g.vertices()}
+        total_before = g.total_volume()
+        for u, v in list(g.cut_edges([(0, i) for i in range(4)])):
+            g.remove_edge_with_loops(u, v)
+        assert {v: g.degree(v) for v in g.vertices()} == before
+        assert g.total_volume() == total_before

@@ -1,0 +1,115 @@
+"""Metrics and spectral invariants: Cheeger sandwich, enumeration caps,
+mixing-time estimation after the lazy-walk-matrix deduplication."""
+
+import pytest
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    hypercube_graph,
+    path_graph,
+    ring_of_cliques,
+)
+from repro.graphs.metrics import (
+    EXACT_ENUMERATION_LIMIT,
+    densest_subgraph_density,
+    estimate_conductance,
+    estimate_mixing_time,
+    graph_conductance_exact,
+    mixing_time_bounds,
+    most_balanced_sparse_cut_exact,
+)
+from repro.graphs.spectral import (
+    cheeger_bounds,
+    effective_conductance,
+    is_expander,
+    spectral_gap,
+)
+
+
+class TestCheegerSandwich:
+    @pytest.mark.parametrize(
+        "graph",
+        [cycle_graph(12), complete_graph(10), hypercube_graph(3), ring_of_cliques(3, 4)],
+        ids=["cycle12", "K10", "Q3", "ring3x4"],
+    )
+    def test_exact_conductance_inside_cheeger_bounds(self, graph):
+        lower, upper = cheeger_bounds(graph)
+        exact = graph_conductance_exact(graph).conductance
+        assert lower <= exact + 1e-9
+        assert exact <= upper + 1e-9
+
+    def test_estimate_conductance_upper_bounds_exact(self):
+        g = ring_of_cliques(3, 5)
+        exact = graph_conductance_exact(g).conductance
+        assert estimate_conductance(g) >= exact - 1e-9
+
+
+class TestEnumerationLimit:
+    def test_exact_conductance_rejects_large_graphs(self):
+        g = erdos_renyi_graph(EXACT_ENUMERATION_LIMIT + 1, 0.5, seed=0)
+        with pytest.raises(ValueError):
+            graph_conductance_exact(g)
+        with pytest.raises(ValueError):
+            most_balanced_sparse_cut_exact(g, 0.5)
+
+    def test_exact_conductance_accepts_at_limit(self):
+        g = cycle_graph(EXACT_ENUMERATION_LIMIT)
+        result = graph_conductance_exact(g)
+        assert result.conductance == pytest.approx(2.0 / EXACT_ENUMERATION_LIMIT)
+
+    def test_effective_conductance_consistent_at_boundary(self):
+        small = cycle_graph(EXACT_ENUMERATION_LIMIT)
+        assert effective_conductance(small) == pytest.approx(
+            graph_conductance_exact(small).conductance
+        )
+        large = cycle_graph(EXACT_ENUMERATION_LIMIT + 4)
+        assert effective_conductance(large) > 0  # sweep-cut path, no raise
+
+    def test_is_expander_on_both_sides_of_limit(self):
+        assert is_expander(complete_graph(10), 0.3)
+        assert not is_expander(ring_of_cliques(3, 4), 0.3)
+        assert is_expander(complete_graph(EXACT_ENUMERATION_LIMIT + 4), 0.3)
+
+
+class TestMixingTime:
+    def test_estimate_uses_shared_walk_matrix(self):
+        """After deduplication the estimator still reproduces known orderings:
+        expanders mix fast, paths mix slowly."""
+        fast = estimate_mixing_time(complete_graph(10))
+        slow = estimate_mixing_time(path_graph(20))
+        assert fast < slow
+
+    def test_mixing_time_within_conductance_bounds(self):
+        g = complete_graph(12)
+        lower, upper = mixing_time_bounds(g, phi=graph_conductance_exact(g).conductance)
+        steps = estimate_mixing_time(g, tolerance=0.25)
+        assert steps <= upper * 10  # loose: bounds are asymptotic
+        assert lower >= 1.0
+
+    def test_spectral_bounds_contain_true_mixing_time(self):
+        """Regression: with no phi given, the upper bound used the sweep-cut
+        value (an upper bound on Φ), shrinking the interval below the true
+        mixing time on graphs with a quadratic Cheeger gap like a cycle."""
+        g = cycle_graph(24)
+        lower, upper = mixing_time_bounds(g)
+        steps = estimate_mixing_time(g, tolerance=0.25)
+        assert lower <= steps <= upper
+
+    def test_empty_and_trivial_graphs(self):
+        from repro.graphs.graph import Graph
+
+        assert estimate_mixing_time(Graph()) == 0
+        assert estimate_mixing_time(Graph(vertices=[1])) == 0
+
+
+class TestDensestSubgraph:
+    def test_clique_density(self):
+        g = complete_graph(8)
+        # K8 density m/n = 28/8
+        assert densest_subgraph_density(g) == pytest.approx(28 / 8)
+
+    def test_spectral_gap_positive_for_connected(self):
+        assert spectral_gap(cycle_graph(8)) > 0
+        assert spectral_gap(complete_graph(6)) > 0

@@ -1,0 +1,95 @@
+"""Centralized Nibble / ApproximateNibble certification behavior."""
+
+import pytest
+
+from repro.graphs.generators import (
+    barbell_expanders,
+    complete_graph,
+    random_regular_graph,
+    ring_of_cliques,
+)
+from repro.nibble import (
+    NibbleParameters,
+    ParameterMode,
+    approximate_nibble,
+    f_function,
+    f_inverse,
+    h_function,
+    h_inverse,
+    nibble,
+)
+
+
+class TestParameters:
+    def test_epsilon_b_halves_per_scale(self):
+        g = ring_of_cliques(3, 5)
+        params = NibbleParameters.paper(g, 0.2)
+        assert params.epsilon_b(2) == pytest.approx(params.epsilon_b(1) / 2)
+        with pytest.raises(ValueError):
+            params.epsilon_b(0)
+
+    def test_f_inverse_inverts_f(self):
+        for mode in (ParameterMode.PAPER, ParameterMode.PRACTICAL):
+            theta = f_function(0.3, 500, mode)
+            assert f_inverse(theta, 500, mode) == pytest.approx(0.3, rel=1e-9)
+
+    def test_h_chain_is_monotone_decreasing(self):
+        theta = 0.2
+        for mode in (ParameterMode.PAPER, ParameterMode.PRACTICAL):
+            nxt = h_inverse(theta, 100, mode)
+            assert 0 < nxt < theta
+            assert h_function(nxt, 100, mode) <= 1.0
+
+
+class TestNibble:
+    def test_finds_bridge_cut_on_barbell(self):
+        g = barbell_expanders(32, seed=1)
+        params = NibbleParameters.practical(g, 0.1)
+        cut = nibble(g, ("L", 5), 1, params)
+        assert cut is not None
+        assert cut.conductance <= 0.1  # (C.1)
+        assert cut.volume >= params.min_cut_volume(1)  # (C.3) lower
+        assert cut.volume <= params.max_cut_volume_fraction * g.total_volume()
+        # The walk converges to the planted bridge cut: one crossing edge.
+        assert cut.cut_size == 1
+        assert {v[0] for v in cut.vertices} == {"L"}
+
+    def test_finds_clique_arc_on_ring(self):
+        g = ring_of_cliques(6, 8)
+        params = NibbleParameters.practical(g, 0.1)
+        cut = approximate_nibble(g, (0, 3), 1, params)
+        assert cut is not None
+        assert cut.conductance <= 0.1
+        # certified cuts align with whole cliques (ring edges are the boundary)
+        clique_ids = {v[0] for v in cut.vertices}
+        assert len(cut.vertices) == 8 * len(clique_ids)
+
+    def test_no_certified_cut_inside_an_expander(self):
+        g = random_regular_graph(24, 6, seed=3)
+        params = NibbleParameters.practical(g, 0.05, max_t0=150)
+        assert nibble(g, 0, 1, params) is None
+        assert approximate_nibble(g, 0, 1, params) is None
+
+    def test_no_certified_cut_on_complete_graph(self):
+        g = complete_graph(12)
+        params = NibbleParameters.practical(g, 0.2, max_t0=80)
+        assert nibble(g, 0, 1, params) is None
+
+    def test_scale_out_of_range_raises(self):
+        g = ring_of_cliques(3, 4)
+        params = NibbleParameters.practical(g, 0.1)
+        with pytest.raises(ValueError):
+            nibble(g, (0, 0), 0, params)
+        with pytest.raises(ValueError):
+            approximate_nibble(g, (0, 0), params.ell + 1, params)
+
+    def test_approximate_agrees_with_exhaustive_on_planted_cut(self):
+        g = barbell_expanders(16, degree=6, seed=2)
+        params = NibbleParameters.practical(g, 0.1)
+        full = nibble(g, ("R", 3), 1, params)
+        approx = approximate_nibble(g, ("R", 3), 1, params)
+        assert full is not None and approx is not None
+        # both must certify a φ-sparse cut; the approximate one examines fewer
+        # prefixes so it may settle on a nearby (still certified) prefix
+        assert approx.conductance <= params.phi
+        assert full.conductance <= approx.conductance

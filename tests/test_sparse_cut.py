@@ -1,0 +1,86 @@
+"""Nearly most balanced sparse cut (Theorem 3) against exact ground truth."""
+
+import pytest
+
+from repro.graphs.generators import (
+    barbell_expanders,
+    dumbbell_cliques,
+    random_regular_graph,
+    unbalanced_bridged_expanders,
+)
+from repro.graphs.metrics import most_balanced_sparse_cut_exact
+from repro.decomposition import (
+    nearly_most_balanced_sparse_cut,
+    parallel_nibble,
+    random_nibble,
+    sample_scale,
+)
+from repro.nibble import NibbleParameters
+from repro.utils.rng import ensure_rng
+
+
+class TestRandomNibble:
+    def test_sample_scale_distribution(self):
+        rng = ensure_rng(0)
+        samples = [sample_scale(rng, 6) for _ in range(2000)]
+        assert min(samples) == 1 and max(samples) <= 6
+        # P[b=1] ∝ 1/2 of the normalising constant: roughly half the samples
+        assert 0.4 < samples.count(1) / len(samples) < 0.62
+
+    def test_random_nibble_finds_cut_on_barbell(self):
+        g = barbell_expanders(16, degree=6, seed=2)
+        params = NibbleParameters.practical(g, 0.1)
+        cut = parallel_nibble(g, params, num_instances=6, rng=1)
+        assert cut is not None
+        assert cut.conductance <= params.phi
+
+    def test_random_nibble_none_on_expander(self):
+        g = random_regular_graph(20, 6, seed=1)
+        params = NibbleParameters.practical(g, 0.05, max_t0=120)
+        assert random_nibble(g, params, rng=3) is None
+
+
+class TestNearlyMostBalancedSparseCut:
+    def test_matches_exact_on_dumbbell(self):
+        g = dumbbell_cliques(6, 1)  # n = 13: exact enumeration feasible
+        exact = most_balanced_sparse_cut_exact(g, 0.2)
+        found = nearly_most_balanced_sparse_cut(g, 0.2, seed=5)
+        assert not found.is_empty
+        assert found.conductance <= 0.2
+        # Theorem 3 balance guarantee: within a factor 2 of the optimum.
+        assert found.balance >= exact.balance / 2.0
+
+    def test_balanced_bridge_cut_on_barbell(self):
+        g = barbell_expanders(32, seed=1)
+        found = nearly_most_balanced_sparse_cut(g, 0.1, seed=7)
+        assert not found.is_empty
+        assert found.conductance <= 0.1
+        assert found.balance >= 0.4  # the bridge cut has balance 1/2
+
+    def test_unbalanced_bridge_found(self):
+        g = unbalanced_bridged_expanders(12, 36, degree=6, seed=4)
+        found = nearly_most_balanced_sparse_cut(g, 0.1, seed=9)
+        assert not found.is_empty
+        assert found.conductance <= 0.1
+        # the planted cut isolates the small side
+        small = {v for v in g.vertices() if v[0] == "S"}
+        assert found.cut == frozenset(small)
+
+    def test_certifies_no_cut_on_expander(self):
+        g = random_regular_graph(24, 6, seed=3)
+        found = nearly_most_balanced_sparse_cut(g, 0.1, seed=5)
+        assert found.is_empty
+        assert found.certified_no_cut
+        assert found.balance == 0.0
+
+    def test_rounds_are_charged(self):
+        g = barbell_expanders(16, degree=6, seed=2)
+        found = nearly_most_balanced_sparse_cut(g, 0.1, seed=3)
+        assert found.report.total_rounds > 0
+
+    def test_result_measured_in_input_graph(self):
+        g = barbell_expanders(16, degree=6, seed=2)
+        found = nearly_most_balanced_sparse_cut(g, 0.1, seed=3)
+        assert found.conductance == pytest.approx(g.conductance_of_cut(found.cut))
+        assert found.cut_size == g.cut_size(found.cut)
+        assert found.balance == pytest.approx(g.balance_of_cut(found.cut))

@@ -1,0 +1,53 @@
+"""Sweep-prefix machinery: incremental statistics must match Graph's own."""
+
+from repro.graphs.generators import erdos_renyi_graph, ring_of_cliques
+from repro.nibble import NibbleParameters, build_sweep, candidate_indices
+from repro.walks.lazy_walk import truncated_walk_sequence
+
+
+def _walk_mass(graph, start, steps=25):
+    params = NibbleParameters.practical(graph, 0.2, max_t0=steps)
+    return truncated_walk_sequence(graph, start, steps, params.epsilon_b(1))[-1]
+
+
+class TestSweepState:
+    def test_prefix_stats_match_graph_ground_truth(self):
+        g = erdos_renyi_graph(20, 0.25, seed=4)
+        mass = _walk_mass(g, 0)
+        state = build_sweep(g, mass)
+        assert state.jmax > 0
+        for j in range(1, state.jmax + 1):
+            prefix = state.prefix(j)
+            assert state.volume(j) == g.volume(prefix)
+            assert state.cut_size(j) == g.cut_size(prefix)
+            assert state.conductance(j) == g.conductance_of_cut(prefix)
+
+    def test_order_is_by_decreasing_rho(self):
+        g = ring_of_cliques(3, 5)
+        state = build_sweep(g, _walk_mass(g, (0, 0)))
+        rhos = [state.rho_at(j) for j in range(1, state.jmax + 1)]
+        assert rhos == sorted(rhos, reverse=True)
+
+    def test_total_volume_includes_loops(self):
+        g = ring_of_cliques(3, 5).induced_with_loops([(0, i) for i in range(5)])
+        state = build_sweep(g, _walk_mass(g, (0, 0)))
+        assert state.total_volume == g.total_volume()
+
+
+class TestCandidateIndices:
+    def test_candidates_cover_range_and_grow_geometrically(self):
+        g = erdos_renyi_graph(24, 0.3, seed=1)
+        state = build_sweep(g, _walk_mass(g, 0))
+        phi = 0.2
+        candidates = candidate_indices(state, phi)
+        assert candidates[0] == 1
+        assert candidates[-1] == state.jmax
+        assert candidates == sorted(set(candidates))
+        # consecutive candidates either step by one or stay within (1+phi) volume growth
+        for a, b in zip(candidates, candidates[1:]):
+            assert b == a + 1 or state.volume(b) <= (1.0 + phi) * state.volume(a)
+
+    def test_empty_support(self):
+        g = erdos_renyi_graph(5, 0.5, seed=0)
+        state = build_sweep(g, {})
+        assert candidate_indices(state, 0.1) == []
