@@ -1,19 +1,28 @@
 """Benchmark harness for the expander decomposition pipeline.
 
-Runs :func:`repro.decomposition.expander_decomposition` over the generator
-families with known ground-truth structure and emits a JSON report
-(``BENCH_decomposition.json`` by default) with quality and cost numbers per
-family:
+Three sections, all emitted into one JSON report
+(``BENCH_decomposition.json`` by default):
 
-* ``num_components`` / ``component_sizes`` — against the planted structure;
-* ``certified_fraction`` — how many components pass ``is_expander`` at φ;
-* ``inter_edge_fraction`` / ``within_budget`` — the ε·m removed-edge check;
-* ``congest_rounds`` — the RoundReport total for the whole recursion;
-* ``wall_time_s`` — centralized wall clock.
+* ``results`` — full decompositions of the four small generator families
+  with known ground-truth structure (quality: components vs planted
+  structure, certified fraction, ε·m budget; cost: CONGEST rounds, wall
+  time).  Unchanged from the original harness.
+* ``large_results`` — full decompositions of 10⁴-vertex instances on the
+  vectorized CSR backend, which is what makes these sizes reachable at all.
+* ``walk_sweep_comparison`` — the dict-vs-CSR timing comparison of the
+  walk/sweep stage (truncated walk + certification scan, i.e. one
+  ApproximateNibble) across instance sizes from 48 to 10⁵ vertices, with a
+  cut-equality assertion per run: the backends must return *identical*
+  cuts, the speedup is the only thing allowed to differ.
 
 Usage::
 
     PYTHONPATH=src python bench/decompose.py [--seed N] [--output PATH]
+        [--skip-large] [--xl]
+
+``--skip-large`` runs only the original small section (seconds);
+``--xl`` adds a 10⁵-vertex stage comparison (minutes, dominated by the
+dict baseline's own runtime — which is rather the point).
 """
 
 from __future__ import annotations
@@ -21,9 +30,10 @@ from __future__ import annotations
 import argparse
 import json
 import time
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.decomposition import expander_decomposition
+from repro.graphs.csr import CSRGraph
 from repro.graphs.graph import Graph
 from repro.graphs.generators import (
     barbell_expanders,
@@ -31,10 +41,13 @@ from repro.graphs.generators import (
     power_law_graph,
     ring_of_cliques,
 )
+from repro.nibble.nibble import approximate_nibble
+from repro.nibble.parameters import NibbleParameters
+from repro.utils.rng import ensure_rng, sample_by_degree
 
 
 def families(seed: int) -> list[tuple[str, Callable[[], Graph], float, float]]:
-    """(name, builder, epsilon, phi) per benchmark family."""
+    """(name, builder, epsilon, phi) per small benchmark family."""
     return [
         ("ring_of_cliques(6,8)", lambda: ring_of_cliques(6, 8), 0.10, 0.10),
         ("barbell_expanders(32)", lambda: barbell_expanders(32, seed=seed), 0.10, 0.10),
@@ -48,12 +61,94 @@ def families(seed: int) -> list[tuple[str, Callable[[], Graph], float, float]]:
     ]
 
 
+def large_families(seed: int) -> list[tuple[str, Callable[[], Graph], float, float, dict]]:
+    """(name, builder, epsilon, phi, sparse_cut_kwargs) per ≥10⁴-vertex family.
+
+    These run on the CSR backend; batch sizes are reduced from the Θ(log m)
+    default because at this scale a handful of degree-proportional starts
+    already finds the planted cuts, and the benchmark measures the engine,
+    not the failure-probability constant.
+    """
+    return [
+        (
+            "barbell_expanders(5120)",
+            lambda: barbell_expanders(5120, degree=8, seed=seed),
+            0.10,
+            0.10,
+            {"num_instances": 6},
+        ),
+        (
+            "ring_of_cliques(640,16)",
+            lambda: ring_of_cliques(640, 16),
+            0.10,
+            0.10,
+            {"num_instances": 6, "params_overrides": {"max_t0": 150}},
+        ),
+    ]
+
+
+def stage_families(seed: int, xl: bool) -> list[tuple[str, Callable[[], Graph], float, int]]:
+    """(name, builder, phi, num_starts) for the walk/sweep stage comparison.
+
+    A size sweep per family so the dict-vs-CSR speedup curve is visible:
+    the dict path costs O(Vol(support)) Python-dict operations per walk
+    step, the CSR path O(n + Vol(support)) numpy element operations, so the
+    speedup grows with the support volume the walk actually drags around.
+    """
+    out = [
+        ("ring_of_cliques(6,8)", lambda: ring_of_cliques(6, 8), 0.10, 2),
+        ("ring_of_cliques(40,16)", lambda: ring_of_cliques(40, 16), 0.10, 2),
+        ("ring_of_cliques(640,16)", lambda: ring_of_cliques(640, 16), 0.10, 2),
+        ("barbell_expanders(32)", lambda: barbell_expanders(32, seed=seed), 0.10, 2),
+        ("barbell_expanders(512)", lambda: barbell_expanders(512, seed=seed), 0.10, 2),
+        ("barbell_expanders(5120)", lambda: barbell_expanders(5120, degree=8, seed=seed), 0.10, 2),
+        (
+            "planted_partition(4,12)",
+            lambda: planted_partition_graph(4, 12, 0.7, 0.02, seed=seed),
+            0.10,
+            2,
+        ),
+        (
+            "planted_partition(32,64)",
+            lambda: planted_partition_graph(32, 64, 0.3, 0.002, seed=seed),
+            0.10,
+            2,
+        ),
+        ("power_law(80)", lambda: power_law_graph(80, seed=seed), 0.05, 2),
+        ("power_law(2000)", lambda: power_law_graph(2000, seed=seed), 0.05, 2),
+        ("power_law(20000)", lambda: power_law_graph(20000, seed=seed), 0.05, 2),
+    ]
+    if xl:
+        out.append(
+            (
+                "barbell_expanders(51200)",
+                lambda: barbell_expanders(51200, degree=8, seed=seed),
+                0.10,
+                1,
+            )
+        )
+    return out
+
+
 def run_family(
-    name: str, graph: Graph, epsilon: float, phi: float, seed: int
+    name: str,
+    graph: Graph,
+    epsilon: float,
+    phi: float,
+    seed: int,
+    backend: str = "auto",
+    sparse_cut_kwargs: Optional[dict] = None,
 ) -> dict:
     """Decompose one family and collect its quality/cost record."""
     start = time.perf_counter()
-    result = expander_decomposition(graph, epsilon=epsilon, phi=phi, seed=seed)
+    result = expander_decomposition(
+        graph,
+        epsilon=epsilon,
+        phi=phi,
+        seed=seed,
+        backend=backend,
+        sparse_cut_kwargs=sparse_cut_kwargs,
+    )
     elapsed = time.perf_counter() - start
     sizes = sorted((len(c) for c in result.components), reverse=True)
     return {
@@ -63,6 +158,7 @@ def run_family(
         "epsilon": epsilon,
         "phi": phi,
         "seed": seed,
+        "backend": backend,
         "num_components": result.num_components,
         "component_sizes": sizes,
         "certified_fraction": result.certified_fraction,
@@ -74,7 +170,62 @@ def run_family(
     }
 
 
+def run_stage_comparison(name: str, graph: Graph, phi: float, seed: int, num_starts: int) -> dict:
+    """Time the walk/sweep stage (one ApproximateNibble) on both backends.
+
+    The same degree-proportionally sampled starts and truncation scales are
+    replayed on each backend, and total wall time per backend is recorded.
+    Cut equality is a hard contract, not an observation: any dict/CSR
+    disagreement raises and aborts the benchmark, so no record with
+    non-identical cuts can ever be written.  The CSR snapshot cost is
+    reported separately because the decomposition amortises it over a whole
+    ParallelNibble batch.
+    """
+    params = NibbleParameters.practical(graph, phi)
+    rng = ensure_rng(seed)
+    degrees = {v: graph.degree(v) for v in graph.vertices() if graph.degree(v) > 0}
+    starts = [sample_by_degree(rng, degrees) for _ in range(num_starts)]
+    scales = [1, params.ell] if num_starts > 1 else [params.ell]
+
+    build_start = time.perf_counter()
+    csr = CSRGraph.from_graph(graph)
+    csr_build_s = time.perf_counter() - build_start
+
+    timings = {"dict": 0.0, "csr": 0.0}
+    cuts: dict[str, list] = {"dict": [], "csr": []}
+    for backend in ("dict", "csr"):
+        for start in starts:
+            for scale in scales:
+                begin = time.perf_counter()
+                cut = approximate_nibble(
+                    graph,
+                    start,
+                    scale,
+                    params,
+                    backend=backend,
+                    csr=csr if backend == "csr" else None,
+                )
+                timings[backend] += time.perf_counter() - begin
+                cuts[backend].append(cut)
+    if cuts["dict"] != cuts["csr"]:  # pragma: no cover - parity pinned by tests
+        raise AssertionError(f"{name}: dict and CSR backends returned different cuts")
+    speedup = timings["dict"] / timings["csr"] if timings["csr"] > 0 else float("inf")
+    return {
+        "family": name,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "phi": phi,
+        "t0": params.t0,
+        "runs": len(starts) * len(scales),
+        "dict_time_s": round(timings["dict"], 3),
+        "csr_time_s": round(timings["csr"], 3),
+        "csr_build_s": round(csr_build_s, 3),
+        "speedup": round(speedup, 2),
+    }
+
+
 def main() -> None:
+    """CLI entry point: run the three sections and write the JSON report."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=7, help="RNG seed (default 7)")
     parser.add_argument(
@@ -82,12 +233,21 @@ def main() -> None:
         default="BENCH_decomposition.json",
         help="Output JSON path (default BENCH_decomposition.json)",
     )
+    parser.add_argument(
+        "--skip-large",
+        action="store_true",
+        help="Only run the original small-family section",
+    )
+    parser.add_argument(
+        "--xl",
+        action="store_true",
+        help="Add a 10⁵-vertex stage comparison (slow: times the dict baseline too)",
+    )
     args = parser.parse_args()
 
     records = []
     for name, builder, epsilon, phi in families(args.seed):
-        graph = builder()
-        record = run_family(name, graph, epsilon, phi, args.seed)
+        record = run_family(name, builder(), epsilon, phi, args.seed)
         records.append(record)
         print(
             f"{name}: {record['num_components']} components, "
@@ -98,7 +258,37 @@ def main() -> None:
             f"{record['wall_time_s']}s"
         )
 
-    payload = {"benchmark": "expander_decomposition", "results": records}
+    large_records = []
+    stage_records = []
+    if not args.skip_large:
+        for name, builder, epsilon, phi, kwargs in large_families(args.seed):
+            graph = builder()
+            record = run_family(
+                name, graph, epsilon, phi, args.seed, backend="csr", sparse_cut_kwargs=kwargs
+            )
+            large_records.append(record)
+            print(
+                f"[large] {name}: n={record['num_vertices']}, "
+                f"{record['num_components']} components, "
+                f"certified {record['certified_fraction']:.0%}, "
+                f"budget ok: {record['within_budget']}, {record['wall_time_s']}s"
+            )
+        for name, builder, phi, num_starts in stage_families(args.seed, args.xl):
+            graph = builder()
+            record = run_stage_comparison(name, graph, phi, args.seed, num_starts)
+            stage_records.append(record)
+            print(
+                f"[stage] {name}: n={record['num_vertices']}, "
+                f"dict {record['dict_time_s']}s vs csr {record['csr_time_s']}s "
+                f"→ {record['speedup']}x (cuts asserted identical)"
+            )
+
+    payload = {
+        "benchmark": "expander_decomposition",
+        "results": records,
+        "large_results": large_records,
+        "walk_sweep_comparison": stage_records,
+    }
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)
     print(f"wrote {args.output}")

@@ -67,6 +67,7 @@ class DecompositionResult:
 
     @property
     def num_components(self) -> int:
+        """Number of output components."""
         return len(self.components)
 
     @property
@@ -130,6 +131,7 @@ def expander_decomposition(
     seed: SeedLike = None,
     max_depth: Optional[int] = None,
     sparse_cut_kwargs: Optional[dict] = None,
+    backend: str = "auto",
 ) -> DecompositionResult:
     """Decompose ``graph`` into φ-expander components, removing ≤ ε·m edges.
 
@@ -152,6 +154,12 @@ def expander_decomposition(
     sparse_cut_kwargs:
         Extra keyword arguments forwarded to
         :func:`nearly_most_balanced_sparse_cut` (batch sizes, overrides).
+    backend:
+        Walk/sweep engine for every level's cut search — ``"dict"``,
+        ``"csr"``, or ``"auto"`` (default; resolved per working graph, so
+        large components run vectorized while small deep-recursion pieces
+        stay on the cheaper dict path).  Both engines return identical
+        cuts, hence identical decompositions for a fixed seed.
     """
     rng = ensure_rng(seed)
     report = RoundReport("expander_decomposition")
@@ -196,13 +204,16 @@ def expander_decomposition(
         theta = schedule[min(depth, len(schedule) - 1)]
         search_phi = theta if mode is ParameterMode.PAPER else max(theta, phi)
         level_report = report.subreport(f"level {depth} (n={len(subset)})")
+        # sparse_cut_kwargs may legitimately carry its own "backend"; an
+        # explicit entry there wins over the decomposition-level default.
+        cut_kwargs = {"backend": backend, **(sparse_cut_kwargs or {})}
         cut_result = nearly_most_balanced_sparse_cut(
             work,
             search_phi,
             mode=mode,
             seed=rng,
             report=level_report,
-            **(sparse_cut_kwargs or {}),
+            **cut_kwargs,
         )
 
         split: Optional[frozenset] = None

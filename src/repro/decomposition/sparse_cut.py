@@ -27,6 +27,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..graphs.csr import CSRGraph, resolve_backend
 from ..graphs.graph import Graph, Vertex
 from ..nibble.nibble import NibbleCut, approximate_nibble
 from ..nibble.parameters import NibbleParameters, ParameterMode
@@ -45,15 +46,25 @@ def random_nibble(
     params: NibbleParameters,
     rng: SeedLike = None,
     report: Optional[RoundReport] = None,
+    backend: str = "auto",
+    csr: Optional[CSRGraph] = None,
 ) -> Optional[NibbleCut]:
-    """One RandomNibble instance: random degree-proportional start, random b."""
+    """One RandomNibble instance: random degree-proportional start, random b.
+
+    The start/scale draws are backend-independent (they consume the same
+    ``rng`` stream either way), so the dict and CSR engines stay in lockstep
+    for a shared seed.  ``backend``/``csr`` are as in
+    :func:`repro.nibble.nibble.nibble`.
+    """
     rng = ensure_rng(rng)
     degrees = {v: graph.degree(v) for v in graph.vertices() if graph.degree(v) > 0}
     if not degrees:
         return None
     start = sample_by_degree(rng, degrees)
     scale = sample_scale(rng, params.ell)
-    return approximate_nibble(graph, start, scale, params, report=report)
+    return approximate_nibble(
+        graph, start, scale, params, report=report, backend=backend, csr=csr
+    )
 
 
 def parallel_nibble(
@@ -62,19 +73,35 @@ def parallel_nibble(
     num_instances: int,
     rng: SeedLike = None,
     report: Optional[RoundReport] = None,
+    backend: str = "auto",
+    csr: Optional[CSRGraph] = None,
 ) -> Optional[NibbleCut]:
     """A batch of RandomNibble instances; returns the best cut found, if any.
 
     In CONGEST the instances run simultaneously (Lemma 10 bounds their joint
     congestion), so the batch is charged max-of-instances rounds, which
     :func:`repro.utils.rounds.parallel_rounds` models.
+
+    When the CSR backend is selected the graph is snapshotted into CSR form
+    once and shared by every instance of the batch; callers that run many
+    batches on an unchanged graph can pass a prebuilt ``csr`` snapshot
+    (used only if the resolved backend is ``"csr"``; it must describe the
+    current graph).
     """
     rng = ensure_rng(rng)
+    chosen = resolve_backend(graph, backend)
+    if chosen == "csr":
+        if csr is None:
+            csr = CSRGraph.from_graph(graph)
+    else:
+        csr = None
     instance_reports: list[RoundReport] = []
     best: Optional[NibbleCut] = None
     for i in range(num_instances):
         instance_report = RoundReport(f"instance {i}")
-        cut = random_nibble(graph, params, rng, report=instance_report)
+        cut = random_nibble(
+            graph, params, rng, report=instance_report, backend=chosen, csr=csr
+        )
         instance_reports.append(instance_report)
         if cut is not None and (
             best is None
@@ -100,6 +127,7 @@ class SparseCutResult:
 
     @property
     def is_empty(self) -> bool:
+        """Whether the result is the empty "no sparse cut exists" certificate."""
         return len(self.cut) == 0
 
 
@@ -118,6 +146,7 @@ def nearly_most_balanced_sparse_cut(
     num_instances: Optional[int] = None,
     report: Optional[RoundReport] = None,
     params_overrides: Optional[dict] = None,
+    backend: str = "auto",
 ) -> SparseCutResult:
     """Theorem 3: accumulate Nibble cuts into a nearly most balanced sparse cut.
 
@@ -131,10 +160,16 @@ def nearly_most_balanced_sparse_cut(
     volume or when ``max_failures`` consecutive ParallelNibble batches find
     nothing.  An empty result with ``certified_no_cut=True`` is the
     "no φ-sparse cut exists" certificate the expander decomposition consumes.
+
+    ``backend`` selects the walk/sweep engine per batch (see
+    :func:`repro.nibble.nibble.nibble`); the CSR snapshot of the working
+    graph is built lazily and invalidated only by a Remove-j shrink, so
+    consecutive failed batches on an unchanged graph reuse it.
     """
     rng = ensure_rng(seed)
     own_report = report if report is not None else RoundReport("sparse_cut")
     work = graph.copy()
+    work_csr: Optional[CSRGraph] = None
     total_volume = graph.total_volume()
     accumulated: set[Vertex] = set()
     accumulated_volume = 0
@@ -149,11 +184,16 @@ def nearly_most_balanced_sparse_cut(
         params = NibbleParameters.for_mode(work, phi, mode, **(params_overrides or {}))
         batch_size = num_instances or default_num_instances(work)
         batches += 1
-        found = parallel_nibble(work, params, batch_size, rng, report=own_report)
+        if work_csr is None and resolve_backend(work, backend) == "csr":
+            work_csr = CSRGraph.from_graph(work)
+        found = parallel_nibble(
+            work, params, batch_size, rng, report=own_report, backend=backend, csr=work_csr
+        )
         if found is None or found.is_empty:
             failures += 1
             continue
         failures = 0
+        work_csr = None  # the Remove-j shrink below invalidates the snapshot
         cut_vertices = set(found.vertices)
         # Keep S the small side of the working graph so its accumulation
         # tracks the balance target rather than overshooting it.

@@ -1,5 +1,6 @@
-"""Graph substrate: the self-loop aware graph, generators, metrics, spectral tools."""
+"""Graph substrate: the self-loop aware graph, its vectorized CSR twin, generators, metrics, spectral tools."""
 
+from .csr import CSR_AUTO_THRESHOLD, CSRGraph, resolve_backend
 from .graph import Graph
 from .metrics import (
     EXACT_ENUMERATION_LIMIT,
@@ -26,11 +27,15 @@ from .spectral import (
     sweep_cut,
     sweep_cut_conductance,
 )
-from . import generators
+from . import csr, generators
 
 __all__ = [
+    "CSR_AUTO_THRESHOLD",
+    "CSRGraph",
     "EXACT_ENUMERATION_LIMIT",
     "Graph",
+    "csr",
+    "resolve_backend",
     "CutResult",
     "SweepCut",
     "balance",

@@ -1,0 +1,418 @@
+"""Vectorized CSR walk engine (the numpy backend of the Nibble family).
+
+The dict-of-sets :class:`~repro.graphs.graph.Graph` is the mutable substrate
+of the decomposition (Remove-j edits, G{S} construction), but pure-Python
+iteration over it caps the truncated-walk hot path (paper Appendix A) at
+roughly 10³ vertices.  This module provides the flat, immutable view the hot
+path actually needs:
+
+* :class:`CSRGraph` — a compressed-sparse-row snapshot of a ``Graph`` with a
+  *stable* vertex ↔ index mapping (vertices sorted by ``repr``, the same
+  total order the dict sweep uses for tie-breaks);
+* vectorized kernels for the walk — :func:`lazy_walk_step`,
+  :func:`truncate`, :func:`truncated_walk_step`,
+  :func:`truncated_walk_sequence`, :func:`degree_distribution` — operating
+  on dense numpy mass vectors restricted to their support;
+* the vectorized sweep prefix scan — :func:`build_sweep` — computing the
+  ρ̃-ordering, prefix volumes, and prefix cut sizes of one walk vector with
+  ``argsort``/``cumsum`` instead of a Python loop.
+
+Bit-for-bit parity with the dict backend is a design goal, not an accident:
+the kernels evaluate the *same* IEEE expressions as
+:mod:`repro.walks.lazy_walk` and accumulate incoming mass in the *same*
+canonical order (ascending vertex index, which equals the dict path's
+``repr``-sorted order), so ``backend="csr"`` and ``backend="dict"`` produce
+identical walk vectors, identical sweeps, and therefore identical certified
+cuts.  ``tests/test_csr.py`` pins this across all benchmark families.
+
+Integer sweep statistics (prefix volume / cut size) are exact in both
+backends, so conductance values — ratios of those integers — agree exactly
+as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from .graph import Graph, Vertex
+
+#: ``backend="auto"`` switches from the dict to the CSR engine at this many
+#: vertices.  Below it the per-step numpy dispatch overhead outweighs the
+#: vectorization win; above it the CSR path dominates (see EXPERIMENTS.md).
+CSR_AUTO_THRESHOLD = 512
+
+#: The three recognised backend names.
+BACKENDS = ("dict", "csr", "auto")
+
+
+def resolve_backend(graph: Graph, backend: str) -> str:
+    """Resolve a backend name to ``"dict"`` or ``"csr"``.
+
+    ``"auto"`` picks the CSR engine once the graph has at least
+    :data:`CSR_AUTO_THRESHOLD` vertices.  Both engines return identical
+    results, so the choice is purely a performance knob.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if backend == "auto":
+        return "csr" if graph.num_vertices >= CSR_AUTO_THRESHOLD else "dict"
+    return backend
+
+
+class CSRGraph:
+    """Immutable CSR snapshot of a :class:`~repro.graphs.graph.Graph`.
+
+    Vertices are assigned indices ``0 .. n-1`` in ``sorted(..., key=repr)``
+    order — the same total order the dict sweep (:mod:`repro.nibble.sweep`)
+    and the spectral tooling (:func:`repro.graphs.spectral.vertex_index`) use
+    — so index order and the dict backend's tie-break order coincide.
+
+    Attributes
+    ----------
+    n:
+        Number of vertices.
+    indptr, indices:
+        CSR adjacency of the proper (non-loop) edges; the neighbor indices of
+        vertex ``i`` are ``indices[indptr[i]:indptr[i+1]]``, sorted
+        ascending.  Each undirected edge appears twice.
+    loops:
+        Self-loop multiplicities (``int64``), following the paper's
+        convention that every self loop adds 1 to its endpoint's degree.
+    proper_degree, degree:
+        Per-vertex proper degree (``indptr`` diffs) and total degree
+        (proper + loops).
+    total_volume:
+        ``Vol(V)`` as a Python int (matches ``Graph.total_volume()``).
+    vertices:
+        The original vertex labels in index order.
+    index:
+        Mapping from vertex label to index.
+    """
+
+    __slots__ = (
+        "n",
+        "indptr",
+        "indices",
+        "loops",
+        "proper_degree",
+        "degree",
+        "total_volume",
+        "vertices",
+        "index",
+    )
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        loops: np.ndarray,
+        vertices: list,
+    ) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.loops = loops
+        self.vertices = vertices
+        self.n = len(vertices)
+        self.index = {v: i for i, v in enumerate(vertices)}
+        self.proper_degree = np.diff(indptr)
+        self.degree = self.proper_degree + loops
+        self.total_volume = int(self.degree.sum())
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSRGraph":
+        """Snapshot ``graph`` into CSR form (one O(n log n + m) pass)."""
+        vertices = sorted(graph.vertices(), key=repr)
+        index = {v: i for i, v in enumerate(vertices)}
+        counts = np.fromiter(
+            (len(graph.neighbors(v)) for v in vertices), dtype=np.int64, count=len(vertices)
+        )
+        indptr = np.zeros(len(vertices) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        for i, v in enumerate(vertices):
+            nbrs = sorted(index[u] for u in graph.neighbors(v))
+            indices[indptr[i] : indptr[i + 1]] = nbrs
+        loops = np.fromiter(
+            (graph.self_loops(v) for v in vertices), dtype=np.int64, count=len(vertices)
+        )
+        return cls(indptr, indices, loops, vertices)
+
+    # ------------------------------------------------------------------
+    def neighbors(self, i: int) -> np.ndarray:
+        """Neighbor indices of vertex index ``i`` (ascending)."""
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def volume(self, idx: np.ndarray) -> int:
+        """Vol of the vertex-index set ``idx`` (degree mass, loops included)."""
+        return int(self.degree[idx].sum())
+
+    def flat_adjacency(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated adjacency lists of ``rows``.
+
+        Returns ``(row_id, flat)`` where ``flat`` is the concatenation of
+        each row's neighbor indices (row-major, ascending within a row) and
+        ``row_id[k]`` is the position *within* ``rows`` that produced
+        ``flat[k]``.  This is the gather primitive behind both the walk step
+        and the sweep cut scan.
+        """
+        counts = self.proper_degree[rows]
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        row_id = np.repeat(np.arange(len(rows), dtype=np.int64), counts)
+        starts = self.indptr[rows]
+        offsets = np.arange(total, dtype=np.int64)
+        offsets -= np.repeat(np.concatenate(([0], np.cumsum(counts[:-1]))), counts)
+        flat = self.indices[np.repeat(starts, counts) + offsets]
+        return row_id, flat
+
+    def to_graph(self) -> Graph:
+        """Materialise back into a mutable dict-of-sets ``Graph``."""
+        g = Graph(vertices=self.vertices)
+        for i, v in enumerate(self.vertices):
+            for j in self.neighbors(i):
+                if i < j:
+                    g.add_edge(v, self.vertices[int(j)])
+            if self.loops[i]:
+                g.add_self_loops(v, int(self.loops[i]))
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRGraph(n={self.n}, entries={len(self.indices)})"
+
+
+# ----------------------------------------------------------------------
+# sparse mass vectors
+# ----------------------------------------------------------------------
+#: A walk vector restricted to its support: ``(indices, values)`` with
+#: ascending ``indices`` and strictly positive ``values``.
+SparseMass = tuple[np.ndarray, np.ndarray]
+
+
+def sparsify(p: np.ndarray) -> SparseMass:
+    """Restrict a dense mass vector to its (positive) support."""
+    idx = np.flatnonzero(p)
+    return idx, p[idx]
+
+
+def mass_to_dict(csr: CSRGraph, mass: SparseMass) -> dict:
+    """Convert a sparse CSR mass vector into the dict backend's form."""
+    idx, vals = mass
+    return {csr.vertices[int(i)]: float(m) for i, m in zip(idx, vals)}
+
+
+def mass_from_dict(csr: CSRGraph, p: dict) -> np.ndarray:
+    """Convert a dict mass vector into a dense numpy vector."""
+    out = np.zeros(csr.n)
+    for v, m in p.items():
+        out[csr.index[v]] = m
+    return out
+
+
+def point_mass(csr: CSRGraph, start: int) -> np.ndarray:
+    """χ_v as a dense vector: all probability mass on vertex index ``start``."""
+    p = np.zeros(csr.n)
+    p[start] = 1.0
+    return p
+
+
+def degree_distribution(csr: CSRGraph, subset: Optional[Iterable[int]] = None) -> SparseMass:
+    """ψ_S: mass deg(v)/Vol(S) on each vertex index of ``subset``.
+
+    Mirrors :func:`repro.walks.lazy_walk.degree_distribution`; the whole
+    graph is used when ``subset`` is ``None``, and zero-degree vertices are
+    dropped from the support.
+    """
+    if subset is None:
+        idx = np.arange(csr.n, dtype=np.int64)
+    else:
+        idx = np.asarray(sorted(subset), dtype=np.int64)
+    total = csr.degree[idx].sum()
+    if total == 0:
+        raise ValueError("cannot normalise over a zero-volume set")
+    deg = csr.degree[idx]
+    keep = deg > 0
+    idx = idx[keep]
+    return idx, deg[keep] / int(total)
+
+
+# ----------------------------------------------------------------------
+# walk kernels (paper Appendix A)
+# ----------------------------------------------------------------------
+def lazy_walk_step(csr: CSRGraph, p: np.ndarray) -> np.ndarray:
+    """One lazy walk step ``M p`` with ``M = (A D^{-1} + I) / 2``, vectorized.
+
+    Work is O(n + Vol(support)): only the support's adjacency is gathered.
+    The expression and accumulation order match the dict backend exactly
+    (incoming shares summed in ascending source-index order, self-retained
+    mass added last), so the two backends stay bit-identical.
+    """
+    active = np.flatnonzero(p)
+    if active.size == 0:
+        return np.zeros(csr.n)
+    mass = p[active]
+    deg = csr.degree[active]
+    zero = deg == 0
+    safe = np.where(zero, 1, deg)
+    keep = np.where(zero, mass, mass * (0.5 + (0.5 * csr.loops[active]) / safe))
+    nz = active[~zero]
+    result = np.zeros(csr.n)
+    if nz.size:
+        share = mass[~zero] / (2.0 * deg[~zero])
+        row_id, flat = csr.flat_adjacency(nz)
+        if flat.size:
+            # bincount accumulates sequentially in input order, i.e. for each
+            # target vertex the shares arrive in ascending source index —
+            # the canonical order the dict backend also uses.
+            result = np.bincount(flat, weights=share[row_id], minlength=csr.n)
+    result[active] += keep
+    return result
+
+
+def truncate(csr: CSRGraph, p: np.ndarray, epsilon: float) -> np.ndarray:
+    """[p]_ε: zero every entry with ``p(x) < 2 ε deg(x)`` (in place on a copy)."""
+    out = p.copy()
+    out[out < 2.0 * epsilon * csr.degree] = 0.0
+    return out
+
+
+def truncated_walk_step(csr: CSRGraph, p: np.ndarray, epsilon: float) -> np.ndarray:
+    """One truncated lazy walk step: ``[M p]_ε``."""
+    return truncate(csr, lazy_walk_step(csr, p), epsilon)
+
+
+def truncated_walk_sequence(
+    csr: CSRGraph, start: int, steps: int, epsilon: float
+) -> list[SparseMass]:
+    """The sequence p̃_0, ..., p̃_steps from a point mass at index ``start``.
+
+    Returns each vector restricted to its support (:data:`SparseMass`).
+    Once all mass falls below the truncation threshold the remaining steps
+    are identically zero and are padded without further work, matching
+    :func:`repro.walks.lazy_walk.truncated_walk_sequence`.
+    """
+    if not 0 <= start < csr.n:
+        raise KeyError(f"start index {start!r} not in graph")
+    p = point_mass(csr, start)
+    sequence = [sparsify(p)]
+    for _ in range(steps):
+        p = truncated_walk_step(csr, p, epsilon)
+        sequence.append(sparsify(p))
+        if sequence[-1][0].size == 0:
+            remaining = steps - (len(sequence) - 1)
+            empty = (np.empty(0, dtype=np.int64), np.empty(0))
+            sequence.extend(empty for _ in range(remaining))
+            break
+    return sequence
+
+
+# ----------------------------------------------------------------------
+# vectorized sweep prefix scan (paper Appendix A's π̃ orderings)
+# ----------------------------------------------------------------------
+@dataclass
+class CSRSweep:
+    """Prefix statistics of one ρ̃-ordering, fully materialised as arrays.
+
+    The numpy twin of :class:`repro.nibble.sweep.SweepState`: ``order`` is
+    the support sorted by (-ρ̃, vertex index), ``prefix_volume[j]`` and
+    ``prefix_cut[j]`` are Vol/|∂| of the length-``j`` prefix (index 0 is the
+    empty prefix), and ``rho`` holds ρ̃ in sweep order.  All integer columns
+    are exact, so conductances derived from them match the dict backend
+    bit-for-bit.
+    """
+
+    order: np.ndarray
+    rho: np.ndarray
+    total_volume: int
+    prefix_volume: np.ndarray
+    prefix_cut: np.ndarray
+
+    @property
+    def jmax(self) -> int:
+        """Largest prefix index (1-based) with positive truncated mass."""
+        return len(self.order)
+
+    def conductances(self) -> np.ndarray:
+        """Φ of every nonempty prefix (1-based j maps to entry j-1)."""
+        vol = self.prefix_volume[1:]
+        cut = self.prefix_cut[1:]
+        denom = np.minimum(vol, self.total_volume - vol)
+        out = np.full(len(vol), np.inf)
+        ok = denom > 0
+        out[ok] = cut[ok] / denom[ok]
+        return out
+
+    def prefix(self, j: int) -> np.ndarray:
+        """The prefix π̃(1..j) as vertex indices."""
+        return self.order[:j]
+
+
+def candidate_indices_from_volumes(prefix_volume: np.ndarray, phi: float) -> list[int]:
+    """ApproximateNibble's geometric candidate prefixes, via ``searchsorted``.
+
+    Produces exactly the sequence of
+    :func:`repro.nibble.sweep.candidate_indices_from_profile` — each "largest
+    j with Vol(π̃(1..j)) ≤ (1+φ)·Vol(π̃(1..j_prev))" is found by one binary
+    search over the non-decreasing prefix-volume profile instead of a linear
+    scan.  The duplication is deliberate and profile-driven, not cosmetic:
+    the shared helper's Python linear scan (O(jmax) interpreted iterations
+    per time step) was a third of the whole CSR ApproximateNibble wall time
+    on 10⁴-vertex supports, and this variant removes it.  Any semantic edit
+    here must be mirrored in the shared helper; ``tests/test_csr.py`` pins
+    the two constructions equal.
+    """
+    jmax = len(prefix_volume) - 1
+    if jmax <= 0:
+        return []
+    candidates = [1]
+    while candidates[-1] < jmax:
+        prev = candidates[-1]
+        threshold = (1.0 + phi) * float(prefix_volume[prev])
+        j = int(np.searchsorted(prefix_volume, threshold, side="right")) - 1
+        nxt = max(prev + 1, j)
+        candidates.append(min(nxt, jmax))
+    return candidates
+
+
+def build_sweep(csr: CSRGraph, mass: SparseMass) -> CSRSweep:
+    """Order the support of ``mass`` by ρ̃ and precompute prefix statistics.
+
+    The numpy analogue of :func:`repro.nibble.sweep.build_sweep` +
+    :meth:`repro.graphs.graph.Graph.prefix_cut_profile`: ρ̃ = mass/degree,
+    sort by (-ρ̃, index) via ``lexsort`` (index order equals the dict
+    backend's ``repr`` tie-break by construction), prefix volumes by
+    ``cumsum`` of degrees, and prefix cut sizes by counting, for each swept
+    vertex, how many of its neighbors precede it in the ordering.
+    """
+    idx, vals = mass
+    deg = csr.degree[idx]
+    keep = (vals > 0) & (deg > 0)
+    idx = idx[keep]
+    vals = vals[keep]
+    rho = vals / csr.degree[idx]
+    perm = np.lexsort((idx, -rho))
+    order = idx[perm]
+    jmax = len(order)
+    prefix_volume = np.zeros(jmax + 1, dtype=np.int64)
+    np.cumsum(csr.degree[order], out=prefix_volume[1:])
+    # position of each ordered vertex; vertices outside the support sort
+    # as "after every prefix" so their edges always count toward the cut.
+    pos = np.full(csr.n, jmax, dtype=np.int64)
+    pos[order] = np.arange(jmax, dtype=np.int64)
+    row_id, flat = csr.flat_adjacency(order)
+    delta = csr.proper_degree[order].astype(np.int64)
+    if flat.size:
+        earlier = pos[flat] < row_id
+        delta -= 2 * np.bincount(row_id[earlier], minlength=jmax).astype(np.int64)
+    prefix_cut = np.zeros(jmax + 1, dtype=np.int64)
+    np.cumsum(delta, out=prefix_cut[1:])
+    return CSRSweep(
+        order=order,
+        rho=rho[perm],
+        total_volume=csr.total_volume,
+        prefix_volume=prefix_volume,
+        prefix_cut=prefix_cut,
+    )

@@ -8,6 +8,16 @@ we verify via the Cheeger sandwich
 
 and via sweep cuts over the Fiedler vector, which give an explicit cut whose
 conductance upper-bounds Phi(G).
+
+Up to :data:`DENSE_EIGH_LIMIT` vertices the eigenproblem is solved densely
+(``numpy.linalg.eigh``, exact to machine precision).  Beyond it a dense
+n x n Laplacian is infeasible, so λ₂ and the Fiedler vector come from a
+sparse iterative solve over the :class:`~repro.graphs.csr.CSRGraph`
+adjacency — ``scipy.sparse.linalg.eigsh`` when scipy is installed,
+otherwise a deflated power iteration in pure numpy.  The iterative values
+are accurate to solver tolerance rather than machine precision, so
+large-component certification is best-effort in the same sense as
+PRACTICAL-mode parameters (see EXPERIMENTS.md).
 """
 
 from __future__ import annotations
@@ -18,7 +28,12 @@ from typing import Optional
 
 import numpy as np
 
+from .csr import CSRGraph
 from .graph import Graph, Vertex
+
+#: Largest vertex count solved with dense ``numpy.linalg.eigh``; larger
+#: graphs use the sparse iterative path (scipy Lanczos or power iteration).
+DENSE_EIGH_LIMIT = 1500
 
 
 def vertex_index(graph: Graph) -> tuple[list[Vertex], dict[Vertex, int]]:
@@ -93,13 +108,114 @@ def normalized_laplacian(graph: Graph) -> np.ndarray:
     return lap
 
 
+def _lambda2_power_iteration(
+    csr: CSRGraph, iterations: int = 400, seed: int = 0
+) -> tuple[float, np.ndarray]:
+    """(λ₂, Fiedler vector) by deflated power iteration — the scipy-free path.
+
+    The normalised Laplacian's kernel vector D^{1/2}·1 is known exactly, so
+    iterating ``x ← (2I - L)x`` while re-orthogonalising against it converges
+    to the eigenpair of the second-smallest eigenvalue.  Accuracy is limited
+    by the iteration budget (fine for the decomposition's certification of
+    genuine expanders, whose spectral gap makes convergence fast); callers
+    needing machine precision must stay under :data:`DENSE_EIGH_LIMIT`.
+
+    The raw Rayleigh quotient of any deflated vector upper-bounds λ₂ — the
+    *unsafe* direction for certification, since an unconverged iterate would
+    overestimate the gap.  The returned value is therefore the Rayleigh
+    quotient minus the residual norm ``‖Lx - θx‖``: there is always an
+    eigenvalue within the residual of θ, so the shift counters the one-sided
+    bias (without being a fully rigorous lower bound on λ₂ — see the module
+    docstring's best-effort caveat).
+    """
+    n = csr.n
+    deg = csr.degree.astype(float)
+    inv_sqrt = np.where(deg > 0, 1.0 / np.sqrt(np.maximum(deg, 1e-12)), 0.0)
+    loops_share = np.where(deg > 0, csr.loops / np.maximum(deg, 1e-12), 0.0)
+    row = np.repeat(np.arange(n), csr.proper_degree)
+
+    def laplacian_matvec(x: np.ndarray) -> np.ndarray:
+        y = inv_sqrt * x
+        ay = np.bincount(row, weights=y[csr.indices], minlength=n)
+        return x - inv_sqrt * ay - loops_share * x
+
+    kernel = np.sqrt(np.maximum(deg, 0.0))
+    norm = np.linalg.norm(kernel)
+    if norm > 0:
+        kernel /= norm
+    x = np.random.default_rng(seed).standard_normal(n)
+    for _ in range(iterations):
+        x -= kernel * (kernel @ x)
+        x = 2.0 * x - laplacian_matvec(x)
+        norm = np.linalg.norm(x)
+        if norm == 0:
+            break
+        x /= norm
+    x -= kernel * (kernel @ x)
+    norm = np.linalg.norm(x)
+    if norm > 0:
+        x /= norm
+    lx = laplacian_matvec(x)
+    theta = float(x @ lx)
+    residual = float(np.linalg.norm(lx - theta * x))
+    lam2 = max(0.0, theta - residual)
+    return lam2, x
+
+
+def _lambda2_sparse(graph: Graph) -> tuple[float, np.ndarray, CSRGraph]:
+    """(λ₂, Fiedler vector, CSR snapshot) via a sparse iterative eigensolve.
+
+    Uses ``scipy.sparse.linalg.eigsh`` on ``2I - L`` (its two largest
+    eigenvalues are 2 - λ₁ and 2 - λ₂, well-separated extremes that Lanczos
+    handles robustly); falls back to :func:`_lambda2_power_iteration` when
+    scipy is unavailable or fails to converge.
+    """
+    csr = CSRGraph.from_graph(graph)
+    n = csr.n
+    deg = csr.degree.astype(float)
+    inv_sqrt = np.where(deg > 0, 1.0 / np.sqrt(np.maximum(deg, 1e-12)), 0.0)
+    try:
+        import scipy.sparse as sp
+        from scipy.sparse.linalg import ArpackError, eigsh
+    except ImportError:
+        lam2, fiedler = _lambda2_power_iteration(csr)
+        return lam2, fiedler, csr
+    # Matrix assembly stays outside the solver try/except: a construction
+    # bug must propagate, not be papered over by the iterative fallback.
+    row = np.repeat(np.arange(n), csr.proper_degree)
+    data = -inv_sqrt[row] * inv_sqrt[csr.indices]
+    diagonal = np.ones(n)
+    positive = deg > 0
+    diagonal[positive] -= csr.loops[positive] * inv_sqrt[positive] ** 2
+    lap = sp.csr_matrix((data, csr.indices.copy(), csr.indptr.copy()), shape=(n, n))
+    lap = lap + sp.diags(diagonal)
+    shifted = sp.identity(n, format="csr") * 2.0 - lap
+    # A fixed ARPACK start vector keeps this a pure function of the graph;
+    # without v0 ARPACK seeds from global RNG state and two calls on the
+    # same graph return slightly different (even sign-flipped) eigenpairs.
+    v0 = np.random.default_rng(0).standard_normal(n)
+    try:
+        values, vectors = eigsh(shifted, k=2, which="LM", v0=v0)
+    except ArpackError:
+        lam2, fiedler = _lambda2_power_iteration(csr)
+        return lam2, fiedler, csr
+    lam = 2.0 - values
+    order = np.argsort(lam)
+    lam2 = float(max(0.0, lam[order[1]]))
+    return lam2, vectors[:, order[1]], csr
+
+
 def spectral_gap(graph: Graph) -> float:
     """Second-smallest eigenvalue of the normalised Laplacian (λ₂).
 
-    Returns 0.0 for graphs with fewer than two vertices or no edges.
+    Returns 0.0 for graphs with fewer than two vertices or no edges.  Exact
+    (dense ``eigh``) up to :data:`DENSE_EIGH_LIMIT` vertices, sparse
+    iterative beyond.
     """
     if graph.num_vertices < 2 or graph.total_volume() == 0:
         return 0.0
+    if graph.num_vertices > DENSE_EIGH_LIMIT:
+        return _lambda2_sparse(graph)[0]
     lap = normalized_laplacian(graph)
     eigenvalues = np.linalg.eigvalsh(lap)
     eigenvalues.sort()
@@ -126,7 +242,18 @@ def fiedler_scores(graph: Graph) -> tuple[dict[Vertex, float], float]:
 
     The spectral sweep cut and the Cheeger certificate both derive from the
     same eigenproblem; this helper computes it once for both consumers.
+    Dense and exact up to :data:`DENSE_EIGH_LIMIT` vertices, sparse
+    iterative (scipy Lanczos or deflated power iteration) beyond — see the
+    module docstring for the accuracy caveat.
     """
+    if graph.num_vertices > DENSE_EIGH_LIMIT:
+        lam2, fiedler, csr = _lambda2_sparse(graph)
+        degrees = csr.degree.astype(float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            embedding = np.where(
+                degrees > 0, fiedler / np.sqrt(np.maximum(degrees, 1e-12)), 0.0
+            )
+        return {v: float(embedding[i]) for i, v in enumerate(csr.vertices)}, lam2
     vertices, index = vertex_index(graph)
     lap = normalized_laplacian(graph)
     eigenvalues, eigenvectors = np.linalg.eigh(lap)

@@ -6,6 +6,7 @@ from .nibble import (
     conditions_hold,
     nibble,
     scan_walk_sequence,
+    scan_walk_sequence_csr,
 )
 from .parameters import (
     NibbleParameters,
@@ -15,7 +16,12 @@ from .parameters import (
     h_function,
     h_inverse,
 )
-from .sweep import SweepState, build_sweep, candidate_indices
+from .sweep import (
+    SweepState,
+    build_sweep,
+    candidate_indices,
+    candidate_indices_from_profile,
+)
 
 __all__ = [
     "NibbleCut",
@@ -25,6 +31,7 @@ __all__ = [
     "approximate_nibble",
     "build_sweep",
     "candidate_indices",
+    "candidate_indices_from_profile",
     "conditions_hold",
     "f_function",
     "f_inverse",
@@ -32,4 +39,5 @@ __all__ = [
     "h_inverse",
     "nibble",
     "scan_walk_sequence",
+    "scan_walk_sequence_csr",
 ]

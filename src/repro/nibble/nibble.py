@@ -21,8 +21,12 @@ implementation's round complexity independent of the cut volume.
 The shared certification scan, :func:`scan_walk_sequence`, is deliberately a
 pure function of the walk vectors: the distributed implementation
 (:mod:`repro.congest.nibble_program`) computes the same vectors with the
-CONGEST diffusion program and feeds them through this exact code path, so the
-centralized and distributed cuts agree bit-for-bit.
+CONGEST diffusion program and feeds them through this exact code path, so
+centralized and distributed cuts coincide whenever their walk vectors do
+(the diffusion program's vectors are pinned to the centralized ones to
+1e-12 by ``tests/test_congest.py``).  The dict and CSR *backends*, by
+contrast, are bit-identical by construction — same IEEE expressions, same
+canonical accumulation order — so ``backend`` never changes an output.
 """
 
 from __future__ import annotations
@@ -30,6 +34,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Mapping, Optional, Sequence
 
+import numpy as np
+
+from ..graphs import csr as csr_backend
+from ..graphs.csr import CSRGraph, resolve_backend
 from ..graphs.graph import Graph, Vertex
 from ..utils.rounds import RoundReport
 from ..walks.lazy_walk import truncated_walk_sequence
@@ -56,6 +64,7 @@ class NibbleCut:
 
     @property
     def is_empty(self) -> bool:
+        """Whether the cut contains no vertices (no prefix certified)."""
         return len(self.vertices) == 0
 
 
@@ -147,6 +156,90 @@ def scan_walk_sequence(
     return best
 
 
+def scan_walk_sequence_csr(
+    csr: CSRGraph,
+    sequence: Sequence[csr_backend.SparseMass],
+    scale: int,
+    params: NibbleParameters,
+    start: Hashable,
+    approximate: bool = False,
+    return_first: bool = False,
+) -> Optional[NibbleCut]:
+    """Vectorized twin of :func:`scan_walk_sequence` for the CSR backend.
+
+    Each time step's (C.1)–(C.3) checks are evaluated as boolean masks over
+    the whole sweep at once instead of prefix-by-prefix.  The integer sweep
+    statistics, the candidate sequence, the condition thresholds, and the
+    best-cut tie rule (lowest conductance, larger volume, earlier time,
+    smaller prefix) replicate the dict scan exactly, so for bit-identical
+    walk vectors — which the canonical accumulation order guarantees — the
+    returned cut is identical too.
+    """
+    best: Optional[tuple] = None  # ((Φ, -Vol), t, j, cut_size, prefix indices)
+    max_fraction = (
+        params.relaxed_max_cut_volume_fraction
+        if approximate
+        else params.max_cut_volume_fraction
+    )
+    for t, mass in enumerate(sequence):
+        if t == 0:
+            continue  # p̃_0 = χ_v is never certified (its prefix is trivial)
+        if mass[0].size == 0:
+            break  # all later vectors are identically zero
+        state = csr_backend.build_sweep(csr, mass)
+        if state.jmax == 0:
+            continue
+        if approximate:
+            j_values = np.asarray(
+                csr_backend.candidate_indices_from_volumes(
+                    state.prefix_volume, params.phi
+                ),
+                dtype=np.int64,
+            )
+        else:
+            j_values = np.arange(1, state.jmax + 1, dtype=np.int64)
+        vol = state.prefix_volume[j_values]
+        cut = state.prefix_cut[j_values]
+        cond = np.full(len(j_values), np.inf)
+        denom = np.minimum(vol, state.total_volume - vol)
+        ok = denom > 0
+        cond[ok] = cut[ok] / denom[ok]
+        certified = (
+            (vol > 0)
+            & (cond <= params.phi)  # (C.1)
+            & (state.rho[j_values - 1] >= params.gamma / vol)  # (C.2)
+            & (params.min_cut_volume(scale) <= vol)  # (C.3) / (C.3*)
+            & (vol <= max_fraction * state.total_volume)
+        )
+        if not certified.any():
+            continue
+        hit = np.flatnonzero(certified)
+        if return_first:
+            pick = hit[0]
+        else:
+            # same tie rule as the dict scan: min (Φ, -Vol), then smallest j
+            pick = hit[np.lexsort((j_values[hit], -vol[hit], cond[hit]))[0]]
+        key = (float(cond[pick]), -int(vol[pick]))
+        if return_first or best is None or key < best[0]:
+            j = int(j_values[pick])
+            best = (key, t, j, int(cut[pick]), state.prefix(j).copy())
+            if return_first:
+                break
+    if best is None:
+        return None
+    (conductance, neg_volume), t, j, cut_size, prefix = best
+    return NibbleCut(
+        vertices=frozenset(csr.vertices[int(i)] for i in prefix),
+        conductance=conductance,
+        volume=-neg_volume,
+        cut_size=cut_size,
+        time_step=t,
+        prefix_index=j,
+        scale=scale,
+        start=start,
+    )
+
+
 def _charge_rounds(
     report: Optional[RoundReport], label: str, params: NibbleParameters
 ) -> None:
@@ -159,12 +252,49 @@ def _charge_rounds(
         report.subreport(label).charge(params.t0 + 2 * params.ell)
 
 
+def _run_nibble(
+    graph: Graph,
+    start: Vertex,
+    scale: int,
+    params: NibbleParameters,
+    report: Optional[RoundReport],
+    approximate: bool,
+    backend: str,
+    csr: Optional[CSRGraph],
+) -> Optional[NibbleCut]:
+    """Shared walk-then-scan body of Nibble and ApproximateNibble."""
+    if not 1 <= scale <= params.ell:
+        raise ValueError(f"scale b={scale} outside 1..ell={params.ell}")
+    label = "approximate_nibble" if approximate else "nibble"
+    _charge_rounds(report, f"{label}(b={scale})", params)
+    # The backend request wins over a supplied snapshot: an explicit
+    # backend="dict" must run the dict engine even if a csr object is around.
+    chosen = resolve_backend(graph, backend)
+    if chosen == "csr":
+        if csr is None:
+            csr = CSRGraph.from_graph(graph)
+        if start not in csr.index:
+            raise KeyError(f"start vertex {start!r} not in graph")
+        sequence = csr_backend.truncated_walk_sequence(
+            csr, csr.index[start], params.t0, params.epsilon_b(scale)
+        )
+        return scan_walk_sequence_csr(
+            csr, sequence, scale, params, start, approximate=approximate
+        )
+    sequence = truncated_walk_sequence(graph, start, params.t0, params.epsilon_b(scale))
+    return scan_walk_sequence(
+        graph, sequence, scale, params, start, approximate=approximate
+    )
+
+
 def nibble(
     graph: Graph,
     start: Vertex,
     scale: int,
     params: NibbleParameters,
     report: Optional[RoundReport] = None,
+    backend: str = "auto",
+    csr: Optional[CSRGraph] = None,
 ) -> Optional[NibbleCut]:
     """Nibble(G, v, φ, b): exhaustive sweep certification (paper Appendix A).
 
@@ -172,12 +302,19 @@ def nibble(
     :func:`scan_walk_sequence` for the deviation from the paper's first-hit
     rule), or ``None`` when no prefix of any of the ``t0`` truncated walk
     vectors certifies.
+
+    ``backend`` selects the walk/sweep engine — ``"dict"`` (the reference
+    sparse-dictionary path), ``"csr"`` (the vectorized
+    :mod:`repro.graphs.csr` path), or ``"auto"`` (CSR above
+    :data:`~repro.graphs.csr.CSR_AUTO_THRESHOLD` vertices).  Both produce
+    identical cuts; a prebuilt ``csr`` snapshot may be passed to amortise
+    conversion across calls on the same graph.  The snapshot is honored
+    only when the resolved backend is ``"csr"`` and must describe the
+    current state of ``graph`` (rebuild it after any mutation).
     """
-    if not 1 <= scale <= params.ell:
-        raise ValueError(f"scale b={scale} outside 1..ell={params.ell}")
-    sequence = truncated_walk_sequence(graph, start, params.t0, params.epsilon_b(scale))
-    _charge_rounds(report, f"nibble(b={scale})", params)
-    return scan_walk_sequence(graph, sequence, scale, params, start, approximate=False)
+    return _run_nibble(
+        graph, start, scale, params, report, approximate=False, backend=backend, csr=csr
+    )
 
 
 def approximate_nibble(
@@ -186,15 +323,16 @@ def approximate_nibble(
     scale: int,
     params: NibbleParameters,
     report: Optional[RoundReport] = None,
+    backend: str = "auto",
+    csr: Optional[CSRGraph] = None,
 ) -> Optional[NibbleCut]:
     """ApproximateNibble: candidate prefixes only, relaxed volume bound (C.3*).
 
     The O(φ⁻¹ log Vol) candidate prefixes are the only ones a CONGEST node
     set can afford to evaluate; Lemma 4 of the paper shows the relaxation
-    preserves the output guarantees up to constants.
+    preserves the output guarantees up to constants.  ``backend`` and
+    ``csr`` are as in :func:`nibble`.
     """
-    if not 1 <= scale <= params.ell:
-        raise ValueError(f"scale b={scale} outside 1..ell={params.ell}")
-    sequence = truncated_walk_sequence(graph, start, params.t0, params.epsilon_b(scale))
-    _charge_rounds(report, f"approximate_nibble(b={scale})", params)
-    return scan_walk_sequence(graph, sequence, scale, params, start, approximate=True)
+    return _run_nibble(
+        graph, start, scale, params, report, approximate=True, backend=backend, csr=csr
+    )

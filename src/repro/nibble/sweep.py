@@ -87,18 +87,34 @@ def candidate_indices(state: SweepState, phi: float) -> list[int]:
     Vol(π̃(1..j)) ≤ (1+φ) · Vol(π̃(1..j_{i-1}))), stopping once j_max is
     reached.  There are O(φ⁻¹ log Vol) candidates.
     """
-    jmax = state.jmax
-    if jmax == 0:
+    return candidate_indices_from_profile(state.prefix_volume, phi)
+
+
+def candidate_indices_from_profile(
+    prefix_volume: Sequence[int], phi: float
+) -> list[int]:
+    """Candidate prefixes from a prefix-volume profile alone.
+
+    ``prefix_volume[j]`` is Vol(π̃(1..j)) with ``prefix_volume[0] = 0``, as
+    produced by both :func:`build_sweep` and the CSR backend's
+    :func:`repro.graphs.csr.build_sweep`.  The CSR scan uses its own
+    ``searchsorted`` variant
+    (:func:`repro.graphs.csr.candidate_indices_from_volumes`) for speed;
+    the two constructions are semantically identical and are pinned equal
+    by ``tests/test_csr.py``.
+    """
+    jmax = len(prefix_volume) - 1
+    if jmax <= 0:
         return []
     candidates = [1]
     while candidates[-1] < jmax:
         prev = candidates[-1]
-        threshold = (1.0 + phi) * state.volume(prev)
+        threshold = (1.0 + phi) * int(prefix_volume[prev])
         # largest j with prefix volume below the threshold; prefix volumes are
         # non-decreasing so a linear scan from prev is enough (total work over
         # the whole candidate construction stays O(jmax)).
         j = prev
-        while j < jmax and state.volume(j + 1) <= threshold:
+        while j < jmax and int(prefix_volume[j + 1]) <= threshold:
             j += 1
         nxt = max(prev + 1, j)
         candidates.append(min(nxt, jmax))

@@ -10,6 +10,13 @@ dictionaries (vertex -> mass) rather than dense vectors: the whole point of
 the truncation is that the walk's support stays local (Lemma 3), and the
 sparse representation is what makes the distributed implementation's
 congestion argument meaningful.
+
+This is the *reference* backend.  The vectorized twin in
+:mod:`repro.graphs.csr` evaluates the same IEEE expressions in the same
+canonical accumulation order (ascending ``repr``-sorted vertex order), so
+the two backends produce bit-identical walk vectors; ``backend="csr"`` on
+:func:`repro.nibble.nibble.nibble` switches the hot path over without
+changing any output.
 """
 
 from __future__ import annotations
@@ -45,20 +52,31 @@ def lazy_walk_step(graph: Graph, p: Mapping[Vertex, float]) -> MassVector:
 
     Self loops keep their probability share at the vertex, matching the
     degree convention of G{S}.
+
+    Mass is accumulated in a canonical order — incoming shares summed over
+    sources in ascending ``repr`` order, the self-retained share added last
+    — which is exactly the order the vectorized CSR kernel
+    (:func:`repro.graphs.csr.lazy_walk_step`) uses, so the two backends
+    produce bit-identical vectors.  (Floating-point addition is not
+    associative; without a pinned order the backends would drift by ULPs
+    and could break sweep ties differently.)
     """
-    result: MassVector = {}
-    for v, mass in p.items():
+    incoming: MassVector = {}
+    keep: MassVector = {}
+    for v, mass in sorted(p.items(), key=lambda item: repr(item[0])):
         if mass <= 0.0:
             continue
         deg = graph.degree(v)
         if deg == 0:
-            result[v] = result.get(v, 0.0) + mass
+            keep[v] = mass
             continue
-        keep = mass * (0.5 + 0.5 * graph.self_loops(v) / deg)
-        result[v] = result.get(v, 0.0) + keep
+        keep[v] = mass * (0.5 + 0.5 * graph.self_loops(v) / deg)
         share = mass / (2.0 * deg)
         for u in graph.neighbors(v):
-            result[u] = result.get(u, 0.0) + share
+            incoming[u] = incoming.get(u, 0.0) + share
+    result: MassVector = incoming
+    for v, mass in keep.items():
+        result[v] = result.get(v, 0.0) + mass
     return result
 
 

@@ -1,0 +1,44 @@
+"""The docs gate runs as a tier-1 test too, not only as a CI job.
+
+A missing README or an undocumented public function in ``repro.nibble`` /
+``repro.decomposition`` / ``repro.graphs.csr`` fails the suite locally, so
+doc rot is caught before a PR ever reaches the CI docs job.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docstrings  # noqa: E402
+
+
+def test_readme_exists():
+    assert (REPO_ROOT / "README.md").is_file(), "README.md is required"
+
+
+def test_architecture_doc_exists():
+    assert (REPO_ROOT / "docs" / "ARCHITECTURE.md").is_file()
+
+
+def test_public_api_docstrings():
+    problems = []
+    for path in check_docstrings.iter_python_files(REPO_ROOT):
+        problems.extend(check_docstrings.missing_docstrings(path))
+    assert not problems, "\n".join(problems)
+
+
+def test_gate_detects_missing_docstring(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text('"""Module doc."""\n\ndef exposed():\n    return 1\n')
+    problems = check_docstrings.missing_docstrings(bad)
+    assert len(problems) == 1 and "exposed" in problems[0]
+
+
+def test_gate_ignores_private_names(tmp_path):
+    ok = tmp_path / "ok.py"
+    ok.write_text('"""Module doc."""\n\ndef _helper():\n    return 1\n')
+    assert check_docstrings.missing_docstrings(ok) == []
