@@ -1,6 +1,6 @@
 """Benchmark harness for the expander decomposition pipeline.
 
-Three sections, all emitted into one JSON report
+Four sections, all emitted into one JSON report
 (``BENCH_decomposition.json`` by default):
 
 * ``results`` — full decompositions of the four small generator families
@@ -8,19 +8,27 @@ Three sections, all emitted into one JSON report
   structure, certified fraction, ε·m budget; cost: CONGEST rounds, wall
   time).  Unchanged from the original harness.
 * ``large_results`` — full decompositions of 10⁴-vertex instances on the
-  vectorized CSR backend, which is what makes these sizes reachable at all.
+  vectorized engine (``backend="auto"``: peeled-CSR views above the size
+  threshold, dict below — all backends are cut-identical, this is just
+  the fastest schedule).
 * ``walk_sweep_comparison`` — the dict-vs-CSR timing comparison of the
   walk/sweep stage (truncated walk + certification scan, i.e. one
   ApproximateNibble) across instance sizes from 48 to 10⁵ vertices, with a
   cut-equality assertion per run: the backends must return *identical*
   cuts, the speedup is the only thing allowed to differ.
+* ``peel_comparison`` — the mutable-side comparison: peeling a sequence
+  of cuts out of one shared :class:`PeeledCSR` (the incremental engine)
+  against the dict Remove-j loop plus the per-cut ``CSRGraph`` re-snapshot
+  it replaced, with a structural-equality assertion per step.
 
 Usage::
 
     PYTHONPATH=src python bench/decompose.py [--seed N] [--output PATH]
-        [--skip-large] [--xl]
+        [--skip-large] [--smoke] [--xl]
 
 ``--skip-large`` runs only the original small section (seconds);
+``--smoke`` is the CI guard: small families only, exits non-zero unless
+every run certifies 100% of its components within the ε·m budget;
 ``--xl`` adds a 10⁵-vertex stage comparison (minutes, dominated by the
 dict baseline's own runtime — which is rather the point).
 """
@@ -29,12 +37,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
 from typing import Callable, Optional
 
 from repro.decomposition import expander_decomposition
 from repro.graphs.csr import CSRGraph
 from repro.graphs.graph import Graph
+from repro.graphs.peel import PeeledCSR
 from repro.graphs.generators import (
     barbell_expanders,
     planted_partition_graph,
@@ -224,6 +234,61 @@ def run_stage_comparison(name: str, graph: Graph, phi: float, seed: int, num_sta
     }
 
 
+def run_peel_comparison(name: str, graph: Graph, num_steps: int) -> dict:
+    """Time the mutable side: incremental peeling vs Remove-j + re-snapshot.
+
+    Replays the same peel sequence — one planted clique/community at a time,
+    grouped by the first element of the vertex label — through both
+    implementations of the working-graph shrink:
+
+    * *resnapshot* (what PR 2's loop did per applied cut): Remove-j every
+      boundary edge of the dict working graph, drop the cut's vertices,
+      then rebuild the ``CSRGraph`` snapshot the next batch would need;
+    * *peel*: one shared :class:`PeeledCSR`, one masked ``peel()`` call.
+
+    After every step the peeled view must be structurally identical to the
+    re-snapshotted graph (vertex count, residual edges, volume) — asserted,
+    not observed.  Only the wall time may differ.
+    """
+    groups: dict = {}
+    for v in graph.vertices():
+        groups.setdefault(v[0] if isinstance(v, tuple) else v, []).append(v)
+    order = sorted(groups)[:num_steps]
+
+    work = graph.copy()
+    resnapshot_s = 0.0
+    reference_stats = []  # (n, m, vol) after each step, collected untimed
+    for key in order:
+        cut = set(groups[key])
+        begin = time.perf_counter()
+        for u, v in work.cut_edges(cut):
+            work.remove_edge_with_loops(u, v)
+        for v in cut:
+            work.remove_vertex(v)
+        snapshot = CSRGraph.from_graph(work)
+        resnapshot_s += time.perf_counter() - begin
+        reference_stats.append((snapshot.n, work.num_edges, work.total_volume()))
+
+    view = PeeledCSR.from_graph(graph)
+    peel_s = 0.0
+    for key, expected in zip(order, reference_stats):
+        idx = view.indices_of(groups[key])
+        begin = time.perf_counter()
+        view.peel(idx)
+        peel_s += time.perf_counter() - begin
+        assert (view.num_vertices, view.num_edges, view.total_volume) == expected
+
+    return {
+        "family": name,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "peel_steps": len(order),
+        "resnapshot_time_s": round(resnapshot_s, 3),
+        "peel_time_s": round(peel_s, 3),
+        "speedup": round(resnapshot_s / peel_s, 1) if peel_s > 0 else float("inf"),
+    }
+
+
 def main() -> None:
     """CLI entry point: run the three sections and write the JSON report."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -237,6 +302,11 @@ def main() -> None:
         "--skip-large",
         action="store_true",
         help="Only run the original small-family section",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke: small families only, fail unless 100%% certified in budget",
     )
     parser.add_argument(
         "--xl",
@@ -260,11 +330,12 @@ def main() -> None:
 
     large_records = []
     stage_records = []
-    if not args.skip_large:
+    peel_records = []
+    if not (args.skip_large or args.smoke):
         for name, builder, epsilon, phi, kwargs in large_families(args.seed):
             graph = builder()
             record = run_family(
-                name, graph, epsilon, phi, args.seed, backend="csr", sparse_cut_kwargs=kwargs
+                name, graph, epsilon, phi, args.seed, backend="auto", sparse_cut_kwargs=kwargs
             )
             large_records.append(record)
             print(
@@ -282,13 +353,37 @@ def main() -> None:
                 f"dict {record['dict_time_s']}s vs csr {record['csr_time_s']}s "
                 f"→ {record['speedup']}x (cuts asserted identical)"
             )
+        for name, builder, steps in (
+            ("ring_of_cliques(640,16)", lambda: ring_of_cliques(640, 16), 64),
+            ("ring_of_cliques(40,16)", lambda: ring_of_cliques(40, 16), 16),
+        ):
+            record = run_peel_comparison(name, builder(), steps)
+            peel_records.append(record)
+            print(
+                f"[peel] {name}: {record['peel_steps']} peels, "
+                f"resnapshot {record['resnapshot_time_s']}s vs "
+                f"peel {record['peel_time_s']}s → {record['speedup']}x "
+                f"(working graphs asserted identical)"
+            )
 
     payload = {
         "benchmark": "expander_decomposition",
         "results": records,
         "large_results": large_records,
         "walk_sweep_comparison": stage_records,
+        "peel_comparison": peel_records,
     }
+    if args.smoke:
+        # The smoke contract: every small family fully certified, in budget.
+        broken = [
+            r["family"]
+            for r in records
+            if r["certified_fraction"] < 1.0 or not r["within_budget"]
+        ]
+        if broken:
+            print(f"SMOKE FAILED: uncertified or over-budget families: {broken}")
+            sys.exit(1)
+        print("smoke passed: all families 100% certified within budget")
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)
     print(f"wrote {args.output}")

@@ -10,8 +10,10 @@ from .expander import (
 from .sparse_cut import (
     SparseCutResult,
     default_num_instances,
+    harvest_disjoint_cuts,
     nearly_most_balanced_sparse_cut,
     parallel_nibble,
+    parallel_nibble_cuts,
     random_nibble,
     sample_scale,
 )
@@ -22,9 +24,11 @@ __all__ = [
     "SparseCutResult",
     "default_num_instances",
     "expander_decomposition",
+    "harvest_disjoint_cuts",
     "level_schedule",
     "nearly_most_balanced_sparse_cut",
     "parallel_nibble",
+    "parallel_nibble_cuts",
     "random_nibble",
     "recursion_depth_bound",
     "sample_scale",

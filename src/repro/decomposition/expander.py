@@ -32,7 +32,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..graphs.csr import CSRGraph, resolve_backend_size
 from ..graphs.graph import Edge, Graph, Vertex
+from ..graphs.peel import PeeledCSR, maybe_compact
 from ..graphs.spectral import certify_conductance
 from ..nibble.parameters import ParameterMode, h_inverse
 from ..utils.rng import SeedLike, ensure_rng
@@ -156,10 +158,15 @@ def expander_decomposition(
         :func:`nearly_most_balanced_sparse_cut` (batch sizes, overrides).
     backend:
         Walk/sweep engine for every level's cut search — ``"dict"``,
-        ``"csr"``, or ``"auto"`` (default; resolved per working graph, so
-        large components run vectorized while small deep-recursion pieces
-        stay on the cheaper dict path).  Both engines return identical
-        cuts, hence identical decompositions for a fixed seed.
+        ``"csr"``, or ``"auto"`` (default; resolved per working subset, so
+        large components run the peeled-CSR engine while small
+        deep-recursion pieces stay on the cheaper dict path).  On the CSR
+        path the host graph is snapshotted into one :class:`CSRGraph` for
+        the whole run and every level's ``G{U}`` is a
+        :class:`~repro.graphs.peel.PeeledCSR` view of it (an O(n + Vol(U))
+        masked restriction) instead of a rebuilt dict graph.  All engines
+        return identical cuts, hence identical decompositions for a fixed
+        seed.
     """
     rng = ensure_rng(seed)
     report = RoundReport("expander_decomposition")
@@ -168,15 +175,35 @@ def expander_decomposition(
         max_depth = recursion_depth_bound(graph.num_vertices)
     components: list[ExpanderComponent] = []
     removed: list[Edge] = []
+    # sparse_cut_kwargs may legitimately carry its own "backend"; an
+    # explicit entry there wins over the decomposition-level default.
+    cut_kwargs = {"backend": backend, **(sparse_cut_kwargs or {})}
+    base: Optional[CSRGraph] = None  # one shared snapshot for every CSR level
 
     stack: list[tuple[frozenset, int]] = [(frozenset(graph.vertices()), 0)]
     while stack:
         subset, depth = stack.pop()
         if not subset:
             continue
-        work = graph.induced_with_loops(subset)
+        view: Optional[PeeledCSR] = None
+        work: Optional[Graph] = None
+        if resolve_backend_size(len(subset), cut_kwargs["backend"]) == "csr":
+            if base is None:
+                base = CSRGraph.from_graph(graph)
+            # Deep-recursion subsets are a shrinking fraction of the host:
+            # compact the view once it has halved so walk vectors stay
+            # proportional to the component, not to the original n.
+            view = maybe_compact(
+                PeeledCSR.for_subset(base, (base.index[v] for v in subset))
+            )
+        else:
+            work = graph.induced_with_loops(subset)
 
-        if len(subset) == 1 or work.num_edges == 0:
+        def materialized() -> Graph:
+            """The dict ``G{U}``, built lazily on the CSR path (certification)."""
+            return work if work is not None else graph.induced_with_loops(subset)
+
+        if len(subset) == 1 or (view.num_edges if view is not None else work.num_edges) == 0:
             # Isolated vertices (all their degree is self loops) are
             # vacuously φ-expanders: they admit no cut at all.
             for v in subset:
@@ -185,15 +212,21 @@ def expander_decomposition(
                 )
             continue
 
-        pieces = work.connected_components()
+        pieces = (
+            view.connected_components() if view is not None else work.connected_components()
+        )
         if len(pieces) > 1:
-            # Splitting along existing components removes no edges.
+            # Splitting along existing components removes no edges.  The
+            # canonical piece order (ascending smallest ``repr``, which the
+            # peeled view produces natively) keeps the recursion — and with
+            # it the RNG stream — identical across backends.
+            pieces.sort(key=lambda piece: min(map(repr, piece)))
             for piece in pieces:
                 stack.append((frozenset(piece), depth))
             continue
 
         if depth >= max_depth:
-            certified, estimate, _ = certify_conductance(work, phi)
+            certified, estimate, _ = certify_conductance(materialized(), phi)
             components.append(
                 ExpanderComponent(frozenset(subset), certified, estimate, depth)
             )
@@ -204,11 +237,8 @@ def expander_decomposition(
         theta = schedule[min(depth, len(schedule) - 1)]
         search_phi = theta if mode is ParameterMode.PAPER else max(theta, phi)
         level_report = report.subreport(f"level {depth} (n={len(subset)})")
-        # sparse_cut_kwargs may legitimately carry its own "backend"; an
-        # explicit entry there wins over the decomposition-level default.
-        cut_kwargs = {"backend": backend, **(sparse_cut_kwargs or {})}
         cut_result = nearly_most_balanced_sparse_cut(
-            work,
+            view if view is not None else work,
             search_phi,
             mode=mode,
             seed=rng,
@@ -220,6 +250,7 @@ def expander_decomposition(
         if not cut_result.is_empty:
             split = cut_result.cut
         else:
+            work = materialized()
             certified, estimate, witness = certify_conductance(work, phi)
             if certified:
                 components.append(
@@ -239,7 +270,10 @@ def expander_decomposition(
                 continue
 
         rest = frozenset(subset - split)
-        removed.extend(work.cut_edges(split))
+        if view is not None:
+            removed.extend(view.cut_edges(view.indices_of(split)))
+        else:
+            removed.extend(work.cut_edges(split))
         stack.append((split, depth + 1))
         stack.append((rest, depth + 1))
 

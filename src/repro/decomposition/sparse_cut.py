@@ -10,29 +10,47 @@ The algorithm is the paper's Phase-1 loop:
 * ``random_nibble`` — one Nibble instance with a degree-proportional random
   start vertex and a random truncation scale b (P[b] ∝ 2^{-b});
 * ``parallel_nibble`` — a batch of independent RandomNibble instances; in
-  CONGEST they run simultaneously, so the batch costs max (not sum) rounds;
+  CONGEST they run simultaneously, so the batch costs max (not sum) rounds.
+  ``parallel_nibble_cuts`` additionally *harvests* every pairwise-disjoint
+  certified cut of the batch (greedy by conductance,
+  :func:`harvest_disjoint_cuts`), so peeling many small components needs
+  far fewer batches than one-cut-per-batch;
 * ``nearly_most_balanced_sparse_cut`` — repeatedly run ParallelNibble on the
-  working graph G{U}; each found cut C is moved into S, every boundary edge
-  of C is removed with the degree-preserving ``Remove-j`` operation
-  (:meth:`Graph.remove_edge_with_loops`), and C's vertices leave the working
-  graph.  The loop stops once S is balanced enough or ``max_failures``
-  consecutive batches certify no further cut.
+  working graph G{U}; every harvested cut C is moved into S, every boundary
+  edge of C is removed with the degree-preserving ``Remove-j`` operation,
+  and C's vertices leave the working graph.  The loop stops once S is
+  balanced enough or ``max_failures`` consecutive batches certify no
+  further cut.
+
+The working graph exists in two interchangeable forms: the reference dict
+``Graph`` (Remove-j via :meth:`Graph.remove_edge_with_loops`), and the
+vectorized :class:`~repro.graphs.peel.PeeledCSR` view, whose
+:meth:`~repro.graphs.peel.PeeledCSR.peel` performs the same operation as a
+masked array update on one shared CSR snapshot.  Both run the *same*
+accumulation loop below (one code path over a thin work-state adapter), and
+RandomNibble samples its start through the same canonical
+``repr``-ordered weighted draw on both, so a shared seed produces identical
+cuts on either — ``tests/test_peel.py`` pins this.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from ..graphs.csr import CSRGraph, resolve_backend
 from ..graphs.graph import Graph, Vertex
+from ..graphs.peel import PeeledCSR, maybe_compact
 from ..nibble.nibble import NibbleCut, approximate_nibble
 from ..nibble.parameters import NibbleParameters, ParameterMode
 from ..utils.rng import SeedLike, ensure_rng, sample_by_degree
 from ..utils.rounds import RoundReport, parallel_rounds
+
+#: A working graph: the reference dict form or the peeled-CSR view.
+WorkGraph = Union[Graph, PeeledCSR]
 
 
 def sample_scale(rng: np.random.Generator, ell: int) -> int:
@@ -41,23 +59,53 @@ def sample_scale(rng: np.random.Generator, ell: int) -> int:
     return int(rng.choice(np.arange(1, ell + 1), p=weights / weights.sum()))
 
 
+def _sorted_degree_map(graph: Graph) -> dict:
+    """Positive degrees keyed by vertex, in canonical ``repr``-sorted order.
+
+    The iteration order of this dict is what maps an RNG draw to a vertex
+    (see :func:`repro.utils.rng.sample_by_degree`); ``repr`` order matches
+    the peeled path's ascending base-index order, keeping the backends'
+    RNG streams in lockstep.
+    """
+    return {
+        v: graph.degree(v)
+        for v in sorted(graph.vertices(), key=repr)
+        if graph.degree(v) > 0
+    }
+
+
 def random_nibble(
-    graph: Graph,
+    graph: WorkGraph,
     params: NibbleParameters,
     rng: SeedLike = None,
     report: Optional[RoundReport] = None,
     backend: str = "auto",
     csr: Optional[CSRGraph] = None,
+    degrees: Optional[dict] = None,
 ) -> Optional[NibbleCut]:
     """One RandomNibble instance: random degree-proportional start, random b.
 
-    The start/scale draws are backend-independent (they consume the same
-    ``rng`` stream either way), so the dict and CSR engines stay in lockstep
-    for a shared seed.  ``backend``/``csr`` are as in
-    :func:`repro.nibble.nibble.nibble`.
+    The start vertex is drawn over the positive-degree vertices in
+    ``repr``-sorted order on every backend (the dict path builds its degree
+    map in that order, the peeled path's ascending index order *is* that
+    order), so the dict and peeled engines consume the same ``rng`` stream
+    and pick the same start for a shared seed.  ``backend``/``csr`` are as
+    in :func:`repro.nibble.nibble.nibble`; a :class:`PeeledCSR` ``graph``
+    always runs the masked CSR engine.  ``degrees`` may carry a prebuilt
+    :func:`_sorted_degree_map` so a batch of instances on an unchanged
+    graph pays for it once; it must describe the current graph.
     """
     rng = ensure_rng(rng)
-    degrees = {v: graph.degree(v) for v in graph.vertices() if graph.degree(v) > 0}
+    if isinstance(graph, PeeledCSR):
+        start_index = graph.sample_start(rng)
+        if start_index is None:
+            return None
+        scale = sample_scale(rng, params.ell)
+        return approximate_nibble(
+            graph, graph.vertices[start_index], scale, params, report=report
+        )
+    if degrees is None:
+        degrees = _sorted_degree_map(graph)
     if not degrees:
         return None
     start = sample_by_degree(rng, degrees)
@@ -67,8 +115,92 @@ def random_nibble(
     )
 
 
+def harvest_disjoint_cuts(cuts: list[NibbleCut]) -> list[NibbleCut]:
+    """Greedy multi-cut harvest: keep pairwise-disjoint cuts, best first.
+
+    Cuts are ordered by (conductance, −volume) with arrival order breaking
+    ties (the stable sort), then each is kept iff it shares no vertex with
+    the cuts already kept.  The first harvested cut is therefore exactly
+    the single best cut the pre-harvest ParallelNibble returned, and every
+    later one is a certified cut of the *same* working graph that can be
+    peeled in the same batch — disjointness means peeling one never touches
+    another's vertices (their shared boundary edges just become self loops).
+    """
+    ordered = sorted(
+        (c for c in cuts if c is not None and not c.is_empty),
+        key=lambda c: (c.conductance, -c.volume),
+    )
+    chosen: list[NibbleCut] = []
+    taken: set = set()
+    for cut in ordered:
+        if taken.isdisjoint(cut.vertices):
+            chosen.append(cut)
+            taken |= cut.vertices
+    return chosen
+
+
+def parallel_nibble_cuts(
+    graph: WorkGraph,
+    params: NibbleParameters,
+    num_instances: int,
+    rng: SeedLike = None,
+    report: Optional[RoundReport] = None,
+    backend: str = "auto",
+    csr: Optional[CSRGraph] = None,
+) -> list[NibbleCut]:
+    """A ParallelNibble batch, harvesting every disjoint certified cut.
+
+    In CONGEST the instances run simultaneously (Lemma 10 bounds their joint
+    congestion), so the batch is charged max-of-instances rounds, which
+    :func:`repro.utils.rounds.parallel_rounds` models — and since each
+    instance certifies its cut independently, *all* of their pairwise
+    disjoint cuts are available at once; returning only the best would
+    throw the others away and pay a whole extra batch to rediscover them.
+
+    When the CSR backend is selected the graph is snapshotted into CSR form
+    once and shared by every instance of the batch; callers that run many
+    batches on an unchanged graph can pass a prebuilt ``csr`` snapshot.  A
+    :class:`PeeledCSR` ``graph`` needs no snapshotting at all — the view is
+    already the engine's native form.
+    """
+    rng = ensure_rng(rng)
+    degrees: Optional[dict] = None
+    if isinstance(graph, PeeledCSR):
+        chosen = "csr"
+        csr = None
+    else:
+        chosen = resolve_backend(graph, backend)
+        if chosen == "csr":
+            if csr is None:
+                csr = CSRGraph.from_graph(graph)
+        else:
+            csr = None
+        # The graph is unchanged for the whole batch: build the canonical
+        # start-sampling map once, not once per instance.
+        degrees = _sorted_degree_map(graph)
+    instance_reports: list[RoundReport] = []
+    found: list[NibbleCut] = []
+    for i in range(num_instances):
+        instance_report = RoundReport(f"instance {i}")
+        cut = random_nibble(
+            graph,
+            params,
+            rng,
+            report=instance_report,
+            backend=chosen,
+            csr=csr,
+            degrees=degrees,
+        )
+        instance_reports.append(instance_report)
+        if cut is not None and not cut.is_empty:
+            found.append(cut)
+    if report is not None:
+        report.add_child(parallel_rounds(instance_reports, label="parallel_nibble"))
+    return harvest_disjoint_cuts(found)
+
+
 def parallel_nibble(
-    graph: Graph,
+    graph: WorkGraph,
     params: NibbleParameters,
     num_instances: int,
     rng: SeedLike = None,
@@ -78,39 +210,15 @@ def parallel_nibble(
 ) -> Optional[NibbleCut]:
     """A batch of RandomNibble instances; returns the best cut found, if any.
 
-    In CONGEST the instances run simultaneously (Lemma 10 bounds their joint
-    congestion), so the batch is charged max-of-instances rounds, which
-    :func:`repro.utils.rounds.parallel_rounds` models.
-
-    When the CSR backend is selected the graph is snapshotted into CSR form
-    once and shared by every instance of the batch; callers that run many
-    batches on an unchanged graph can pass a prebuilt ``csr`` snapshot
-    (used only if the resolved backend is ``"csr"``; it must describe the
-    current graph).
+    The best cut is the head of the :func:`parallel_nibble_cuts` harvest
+    (lowest conductance, ties to larger volume then earlier instance) —
+    callers that can absorb several disjoint cuts per batch should use the
+    harvest directly.
     """
-    rng = ensure_rng(rng)
-    chosen = resolve_backend(graph, backend)
-    if chosen == "csr":
-        if csr is None:
-            csr = CSRGraph.from_graph(graph)
-    else:
-        csr = None
-    instance_reports: list[RoundReport] = []
-    best: Optional[NibbleCut] = None
-    for i in range(num_instances):
-        instance_report = RoundReport(f"instance {i}")
-        cut = random_nibble(
-            graph, params, rng, report=instance_report, backend=chosen, csr=csr
-        )
-        instance_reports.append(instance_report)
-        if cut is not None and (
-            best is None
-            or (cut.conductance, -cut.volume) < (best.conductance, -best.volume)
-        ):
-            best = cut
-    if report is not None:
-        report.add_child(parallel_rounds(instance_reports, label="parallel_nibble"))
-    return best
+    cuts = parallel_nibble_cuts(
+        graph, params, num_instances, rng, report=report, backend=backend, csr=csr
+    )
+    return cuts[0] if cuts else None
 
 
 @dataclass(frozen=True)
@@ -131,13 +239,151 @@ class SparseCutResult:
         return len(self.cut) == 0
 
 
-def default_num_instances(graph: Graph) -> int:
+def default_num_instances(graph: WorkGraph) -> int:
     """Batch size for ParallelNibble: Θ(log m) independent instances."""
     return max(4, math.ceil(math.log2(max(graph.num_edges, 2))))
 
 
+class _DictWork:
+    """Work-state adapter over a mutable dict ``Graph`` (the reference path).
+
+    The accumulation loop of :func:`nearly_most_balanced_sparse_cut` talks
+    to the working graph only through this surface and its peeled twin
+    (:class:`_PeelWork`), so the two backends make byte-for-byte identical
+    decisions; only the mechanics of a removal differ.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph.copy()
+        self.initial = graph
+
+    @property
+    def search_graph(self) -> Graph:
+        """What the ParallelNibble batch should run on."""
+        return self.graph
+
+    @property
+    def num_edges(self) -> int:
+        """Residual proper edge count of the working graph."""
+        return self.graph.num_edges
+
+    def total_volume(self) -> int:
+        """Vol of the current working graph."""
+        return self.graph.total_volume()
+
+    def contains_all(self, cut_vertices: set) -> bool:
+        """Whether every cut vertex is still in the working graph."""
+        return all(v in self.graph for v in cut_vertices)
+
+    def volume_of(self, cut_vertices: set) -> int:
+        """Vol of a vertex set in the current working graph."""
+        return self.graph.volume(cut_vertices)
+
+    def complement(self, cut_vertices: set) -> set:
+        """The other side of the cut in the current working graph."""
+        return set(self.graph.vertices()) - cut_vertices
+
+    def remove(self, cut_vertices: set) -> None:
+        """Remove-j every boundary edge, then drop the cut's vertices."""
+        for u, v in self.graph.cut_edges(cut_vertices):
+            self.graph.remove_edge_with_loops(u, v)
+        for v in cut_vertices:
+            self.graph.remove_vertex(v)
+
+    def refresh(self) -> None:
+        """Between batches: nothing to do on the dict path."""
+
+    def initial_volume(self, vertices: set) -> int:
+        """Vol of a vertex set measured in the *input* graph."""
+        return self.initial.volume(vertices)
+
+    def initial_vertices(self) -> set:
+        """Vertex set of the input graph."""
+        return set(self.initial.vertices())
+
+    def measure(self, vertices: set) -> tuple[float, float, int]:
+        """(Φ, balance, |∂|) of a set, measured in the input graph."""
+        return (
+            self.initial.conductance_of_cut(vertices),
+            self.initial.balance_of_cut(vertices),
+            self.initial.cut_size(vertices),
+        )
+
+
+class _PeelWork:
+    """Work-state adapter over a :class:`PeeledCSR` view (the fast path).
+
+    The input view is cloned (callers keep theirs) and every removal is a
+    masked :meth:`~repro.graphs.peel.PeeledCSR.peel`; final measurements run
+    against a pristine clone of the initial view, whose integer statistics
+    equal the input graph's.
+    """
+
+    def __init__(self, peel: PeeledCSR) -> None:
+        self.peel = peel.clone()
+        self.initial = peel.clone()
+
+    @property
+    def search_graph(self) -> PeeledCSR:
+        """What the ParallelNibble batch should run on."""
+        return self.peel
+
+    @property
+    def num_edges(self) -> int:
+        """Residual proper edge count of the working view."""
+        return self.peel.num_edges
+
+    def total_volume(self) -> int:
+        """Vol of the current working view."""
+        return self.peel.total_volume
+
+    def contains_all(self, cut_vertices: set) -> bool:
+        """Whether every cut vertex is still alive."""
+        idx = self.peel.indices_of(cut_vertices)
+        return bool(self.peel.alive[idx].all())
+
+    def volume_of(self, cut_vertices: set) -> int:
+        """Vol of a vertex set in the current working view."""
+        return self.peel.volume(self.peel.indices_of(cut_vertices))
+
+    def complement(self, cut_vertices: set) -> set:
+        """The other side of the cut among the currently alive vertices."""
+        labels = self.peel.vertices
+        return {labels[int(i)] for i in self.peel.alive_indices()} - cut_vertices
+
+    def remove(self, cut_vertices: set) -> None:
+        """Peel the cut: the masked Remove-j + vertex drop."""
+        self.peel.peel(self.peel.indices_of(cut_vertices))
+
+    def refresh(self) -> None:
+        """Between batches: re-compact the view once it has halved.
+
+        Output-neutral (compaction is bit-identical) but keeps the masked
+        kernels' dense-vector cost proportional to what is still alive.
+        """
+        self.peel = maybe_compact(self.peel)
+
+    def initial_volume(self, vertices: set) -> int:
+        """Vol of a vertex set measured in the initial view (= input graph)."""
+        return self.initial.volume(self.initial.indices_of(vertices))
+
+    def initial_vertices(self) -> set:
+        """Alive vertex set of the initial view."""
+        labels = self.initial.vertices
+        return {labels[int(i)] for i in self.initial.alive_indices()}
+
+    def measure(self, vertices: set) -> tuple[float, float, int]:
+        """(Φ, balance, |∂|) of a set, measured in the initial view."""
+        idx = self.initial.indices_of(vertices)
+        return (
+            self.initial.conductance_of_cut(idx),
+            self.initial.balance_of_cut(idx),
+            self.initial.cut_size(idx),
+        )
+
+
 def nearly_most_balanced_sparse_cut(
-    graph: Graph,
+    graph: WorkGraph,
     phi: float,
     mode: ParameterMode = ParameterMode.PRACTICAL,
     seed: SeedLike = None,
@@ -151,26 +397,39 @@ def nearly_most_balanced_sparse_cut(
     """Theorem 3: accumulate Nibble cuts into a nearly most balanced sparse cut.
 
     The working graph starts as (a copy of) ``graph`` — callers hand in
-    ``G{U}`` directly — and is shrunk after every found cut C by the Remove-j
-    loop: every edge of ∂(C) is removed with a compensating self loop at both
-    endpoints (degrees never change, so conductance accounting at deeper
-    levels stays honest), after which C's vertices are discarded.
+    ``G{U}`` directly, either as a dict ``Graph`` or as a
+    :class:`PeeledCSR` view of a shared snapshot — and is shrunk after
+    every harvested cut C by the degree-preserving Remove-j operation
+    (boundary edges become compensating self loops at both endpoints, so
+    conductance accounting at deeper levels stays honest), after which C's
+    vertices leave the working graph.  One ParallelNibble batch may
+    contribute *several* pairwise-disjoint cuts (see
+    :func:`parallel_nibble_cuts`); they are applied best-first, each
+    re-checked against the current working graph (still fully present,
+    flipped to the small side, stopped at the balance target).
 
     Stops when the accumulated S reaches ``balance_target`` of the total
-    volume or when ``max_failures`` consecutive ParallelNibble batches find
-    nothing.  An empty result with ``certified_no_cut=True`` is the
-    "no φ-sparse cut exists" certificate the expander decomposition consumes.
+    volume or when ``max_failures`` consecutive ParallelNibble batches
+    apply nothing.  An empty result with ``certified_no_cut=True`` is the
+    "no φ-sparse cut exists" certificate the expander decomposition
+    consumes.
 
-    ``backend`` selects the walk/sweep engine per batch (see
-    :func:`repro.nibble.nibble.nibble`); the CSR snapshot of the working
-    graph is built lazily and invalidated only by a Remove-j shrink, so
-    consecutive failed batches on an unchanged graph reuse it.
+    ``backend`` selects the engine when ``graph`` is a dict ``Graph``:
+    ``"dict"`` keeps the reference mutable graph, ``"csr"`` (or ``"auto"``
+    above the size threshold) snapshots once into a :class:`PeeledCSR` and
+    runs every batch and every removal masked — no per-batch re-snapshot.
+    A ``PeeledCSR`` input always runs the peeled engine.  All choices are
+    cut-identical for a shared seed.
     """
     rng = ensure_rng(seed)
     own_report = report if report is not None else RoundReport("sparse_cut")
-    work = graph.copy()
-    work_csr: Optional[CSRGraph] = None
-    total_volume = graph.total_volume()
+    if isinstance(graph, PeeledCSR):
+        work: Union[_DictWork, _PeelWork] = _PeelWork(graph)
+    elif resolve_backend(graph, backend) == "csr":
+        work = _PeelWork(PeeledCSR.from_graph(graph))
+    else:
+        work = _DictWork(graph)
+    total_volume = work.total_volume()
     accumulated: set[Vertex] = set()
     accumulated_volume = 0
     failures = 0
@@ -181,34 +440,38 @@ def nearly_most_balanced_sparse_cut(
         and failures < max_failures
         and accumulated_volume < balance_target * total_volume
     ):
-        params = NibbleParameters.for_mode(work, phi, mode, **(params_overrides or {}))
-        batch_size = num_instances or default_num_instances(work)
-        batches += 1
-        if work_csr is None and resolve_backend(work, backend) == "csr":
-            work_csr = CSRGraph.from_graph(work)
-        found = parallel_nibble(
-            work, params, batch_size, rng, report=own_report, backend=backend, csr=work_csr
+        work.refresh()
+        params = NibbleParameters.for_mode(
+            work.search_graph, phi, mode, **(params_overrides or {})
         )
-        if found is None or found.is_empty:
-            failures += 1
-            continue
-        failures = 0
-        work_csr = None  # the Remove-j shrink below invalidates the snapshot
-        cut_vertices = set(found.vertices)
-        # Keep S the small side of the working graph so its accumulation
-        # tracks the balance target rather than overshooting it.
-        if work.volume(cut_vertices) > work.total_volume() / 2.0:
-            cut_vertices = set(work.vertices()) - cut_vertices
-            if not cut_vertices:
-                failures += 1
+        batch_size = num_instances or default_num_instances(work.search_graph)
+        batches += 1
+        cuts = parallel_nibble_cuts(
+            work.search_graph, params, batch_size, rng, report=own_report, backend=backend
+        )
+        applied = 0
+        for found in cuts:
+            if accumulated_volume >= balance_target * total_volume:
+                break
+            cut_vertices = set(found.vertices)
+            # An earlier cut of this batch may have been flipped to the big
+            # side and swallowed this one's vertices; skip it then.
+            if not work.contains_all(cut_vertices):
                 continue
-        # Remove-j over ∂(C): degree-preserving edge removals, then drop C.
-        for u, v in work.cut_edges(cut_vertices):
-            work.remove_edge_with_loops(u, v)
-        for v in cut_vertices:
-            work.remove_vertex(v)
-        accumulated |= cut_vertices
-        accumulated_volume = graph.volume(accumulated)
+            # Keep S the small side of the working graph so its accumulation
+            # tracks the balance target rather than overshooting it.
+            if work.volume_of(cut_vertices) > work.total_volume() / 2.0:
+                cut_vertices = work.complement(cut_vertices)
+                if not cut_vertices:
+                    continue
+            work.remove(cut_vertices)
+            accumulated |= cut_vertices
+            accumulated_volume = work.initial_volume(accumulated)
+            applied += 1
+        if applied == 0:
+            failures += 1
+        else:
+            failures = 0
 
     if not accumulated:
         return SparseCutResult(
@@ -221,13 +484,14 @@ def nearly_most_balanced_sparse_cut(
             report=own_report,
         )
     # Report the small side of the final cut, measured in the input graph.
-    if graph.volume(accumulated) > total_volume / 2.0:
-        accumulated = set(graph.vertices()) - accumulated
+    if work.initial_volume(accumulated) > total_volume / 2.0:
+        accumulated = work.initial_vertices() - accumulated
+    conductance, balance, cut_size = work.measure(accumulated)
     return SparseCutResult(
         cut=frozenset(accumulated),
-        conductance=graph.conductance_of_cut(accumulated),
-        balance=graph.balance_of_cut(accumulated),
-        cut_size=graph.cut_size(accumulated),
+        conductance=conductance,
+        balance=balance,
+        cut_size=cut_size,
         certified_no_cut=False,
         batches=batches,
         report=own_report,

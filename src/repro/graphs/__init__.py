@@ -1,7 +1,8 @@
 """Graph substrate: the self-loop aware graph, its vectorized CSR twin, generators, metrics, spectral tools."""
 
-from .csr import CSR_AUTO_THRESHOLD, CSRGraph, resolve_backend
+from .csr import CSR_AUTO_THRESHOLD, CSRGraph, resolve_backend, resolve_backend_size
 from .graph import Graph
+from .peel import PeeledCSR
 from .metrics import (
     EXACT_ENUMERATION_LIMIT,
     CutResult,
@@ -27,15 +28,18 @@ from .spectral import (
     sweep_cut,
     sweep_cut_conductance,
 )
-from . import csr, generators
+from . import csr, generators, peel
 
 __all__ = [
     "CSR_AUTO_THRESHOLD",
     "CSRGraph",
     "EXACT_ENUMERATION_LIMIT",
     "Graph",
+    "PeeledCSR",
     "csr",
+    "peel",
     "resolve_backend",
+    "resolve_backend_size",
     "CutResult",
     "SweepCut",
     "balance",

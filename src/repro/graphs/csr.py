@@ -48,18 +48,25 @@ CSR_AUTO_THRESHOLD = 512
 BACKENDS = ("dict", "csr", "auto")
 
 
-def resolve_backend(graph: Graph, backend: str) -> str:
-    """Resolve a backend name to ``"dict"`` or ``"csr"``.
+def resolve_backend_size(num_vertices: int, backend: str) -> str:
+    """Resolve a backend name to ``"dict"`` or ``"csr"`` for a vertex count.
 
-    ``"auto"`` picks the CSR engine once the graph has at least
-    :data:`CSR_AUTO_THRESHOLD` vertices.  Both engines return identical
-    results, so the choice is purely a performance knob.
+    ``"auto"`` picks the CSR engine at :data:`CSR_AUTO_THRESHOLD` vertices
+    and above.  Both engines return identical results, so the choice is
+    purely a performance knob.  The count-based form exists so the
+    decomposition recursion can resolve a subset's backend *before*
+    materialising any working graph for it.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
     if backend == "auto":
-        return "csr" if graph.num_vertices >= CSR_AUTO_THRESHOLD else "dict"
+        return "csr" if num_vertices >= CSR_AUTO_THRESHOLD else "dict"
     return backend
+
+
+def resolve_backend(graph: Graph, backend: str) -> str:
+    """Resolve a backend name to ``"dict"`` or ``"csr"`` for a graph."""
+    return resolve_backend_size(graph.num_vertices, backend)
 
 
 class CSRGraph:
@@ -290,21 +297,29 @@ def truncated_walk_sequence(
     """The sequence p̃_0, ..., p̃_steps from a point mass at index ``start``.
 
     Returns each vector restricted to its support (:data:`SparseMass`).
-    Once all mass falls below the truncation threshold the remaining steps
-    are identically zero and are padded without further work, matching
-    :func:`repro.walks.lazy_walk.truncated_walk_sequence`.
+    Stepping stops early — with the terminal vector padded to full length —
+    once all mass truncates to zero or a step reproduces its predecessor
+    bit-for-bit (the IEEE fixpoint), matching
+    :func:`repro.walks.lazy_walk.truncated_walk_sequence` exactly.
     """
     if not 0 <= start < csr.n:
         raise KeyError(f"start index {start!r} not in graph")
     p = point_mass(csr, start)
     sequence = [sparsify(p)]
     for _ in range(steps):
+        previous = p
         p = truncated_walk_step(csr, p, epsilon)
         sequence.append(sparsify(p))
         if sequence[-1][0].size == 0:
             remaining = steps - (len(sequence) - 1)
             empty = (np.empty(0, dtype=np.int64), np.empty(0))
             sequence.extend(empty for _ in range(remaining))
+            break
+        if np.array_equal(p, previous):
+            # Truncated fixpoint: every later vector equals this one.
+            remaining = steps - (len(sequence) - 1)
+            fixpoint = sequence[-1]
+            sequence.extend(fixpoint for _ in range(remaining))
             break
     return sequence
 
@@ -350,6 +365,12 @@ class CSRSweep:
         return self.order[:j]
 
 
+#: Sweeps up to this long build their candidate sequence with the shared
+#: pure-Python linear scan: below it, per-call numpy ``searchsorted``
+#: dispatch overhead costs more than scanning a plain list.
+CANDIDATE_SEARCHSORTED_THRESHOLD = 512
+
+
 def candidate_indices_from_volumes(prefix_volume: np.ndarray, phi: float) -> list[int]:
     """ApproximateNibble's geometric candidate prefixes, via ``searchsorted``.
 
@@ -360,13 +381,21 @@ def candidate_indices_from_volumes(prefix_volume: np.ndarray, phi: float) -> lis
     scan.  The duplication is deliberate and profile-driven, not cosmetic:
     the shared helper's Python linear scan (O(jmax) interpreted iterations
     per time step) was a third of the whole CSR ApproximateNibble wall time
-    on 10⁴-vertex supports, and this variant removes it.  Any semantic edit
-    here must be mirrored in the shared helper; ``tests/test_csr.py`` pins
-    the two constructions equal.
+    on 10⁴-vertex supports, and this variant removes it.  Short sweeps
+    (jmax ≤ :data:`CANDIDATE_SEARCHSORTED_THRESHOLD`) go the other way —
+    O(φ⁻¹ log Vol) numpy binary-search dispatches cost more than one pass
+    over a small Python list, and deep-recursion components are exactly the
+    short-sweep case — so they delegate to the shared helper over
+    ``tolist()``.  Any semantic edit here must be mirrored in the shared
+    helper; ``tests/test_csr.py`` pins the two constructions equal.
     """
     jmax = len(prefix_volume) - 1
     if jmax <= 0:
         return []
+    if jmax <= CANDIDATE_SEARCHSORTED_THRESHOLD:
+        from ..nibble.sweep import candidate_indices_from_profile
+
+        return candidate_indices_from_profile(prefix_volume.tolist(), phi)
     candidates = [1]
     while candidates[-1] < jmax:
         prev = candidates[-1]

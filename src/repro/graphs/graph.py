@@ -107,11 +107,15 @@ class Graph:
         """Remove ``{u, v}`` and add one compensating self loop at each endpoint.
 
         This is the ``Remove-j`` operation of the paper's Section 2: removals
-        never change any vertex degree.
+        never change any vertex degree.  A self loop (``u == v``) contributes
+        1 to its endpoint's degree, so removing it is compensated by exactly
+        *one* new loop — i.e. a degree-preserving no-op — not one per
+        "endpoint", which would inflate the degree by 1.
         """
         self.remove_edge(u, v)
         self._loops[u] += 1
-        self._loops[v] += 1
+        if u != v:
+            self._loops[v] += 1
 
     def remove_vertex(self, v: Vertex) -> None:
         """Remove ``v`` and every incident edge."""
@@ -261,14 +265,17 @@ class Graph:
         adjacency of the ordered vertices.  This is the scan shared by the
         Nibble sweep and the spectral sweep cut.
         """
+        adj = self._adj
+        loops = self._loops
         prefix_volume = [0]
         prefix_cut = [0]
         inside: set[Vertex] = set()
         vol = 0
         cut = 0
         for v in order:
-            vol += self.degree(v)
-            for u in self._adj[v]:
+            neighbors = adj[v]
+            vol += len(neighbors) + loops[v]
+            for u in neighbors:
                 if u in inside:
                     cut -= 1
                 else:

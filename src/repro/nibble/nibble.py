@@ -37,8 +37,10 @@ from typing import Hashable, Mapping, Optional, Sequence
 import numpy as np
 
 from ..graphs import csr as csr_backend
+from ..graphs import peel as peel_backend
 from ..graphs.csr import CSRGraph, resolve_backend
 from ..graphs.graph import Graph, Vertex
+from ..graphs.peel import PeeledCSR
 from ..utils.rounds import RoundReport
 from ..walks.lazy_walk import truncated_walk_sequence
 from .parameters import NibbleParameters
@@ -121,11 +123,18 @@ def scan_walk_sequence(
     extra walk steps and returns the cleaned-up cut the walk converges to.
     """
     best: Optional[NibbleCut] = None
+    previous: Optional[Mapping[Vertex, float]] = None
     for t, mass in enumerate(sequence):
         if t == 0:
             continue  # p̃_0 = χ_v is never certified (its prefix is trivial)
         if not mass:
             break  # all later vectors are identically zero
+        if previous is not None and (mass is previous or mass == previous):
+            # The walk hit its truncated fixpoint: every later sweep is a
+            # copy of the one just scanned, and an identical certified
+            # prefix at a later t always loses the (Φ, -Vol, t, j) tie.
+            break
+        previous = mass
         state = build_sweep(graph, mass)
         if state.jmax == 0:
             continue
@@ -157,7 +166,7 @@ def scan_walk_sequence(
 
 
 def scan_walk_sequence_csr(
-    csr: CSRGraph,
+    csr: CSRGraph | PeeledCSR,
     sequence: Sequence[csr_backend.SparseMass],
     scale: int,
     params: NibbleParameters,
@@ -173,7 +182,10 @@ def scan_walk_sequence_csr(
     best-cut tie rule (lowest conductance, larger volume, earlier time,
     smaller prefix) replicate the dict scan exactly, so for bit-identical
     walk vectors — which the canonical accumulation order guarantees — the
-    returned cut is identical too.
+    returned cut is identical too.  ``csr`` may be a
+    :class:`~repro.graphs.peel.PeeledCSR` view: the kernels only reach the
+    graph through the masked surface, so the scan then certifies prefixes
+    of the peeled working graph.
     """
     best: Optional[tuple] = None  # ((Φ, -Vol), t, j, cut_size, prefix indices)
     max_fraction = (
@@ -181,11 +193,24 @@ def scan_walk_sequence_csr(
         if approximate
         else params.max_cut_volume_fraction
     )
+    previous: Optional[csr_backend.SparseMass] = None
     for t, mass in enumerate(sequence):
         if t == 0:
             continue  # p̃_0 = χ_v is never certified (its prefix is trivial)
         if mass[0].size == 0:
             break  # all later vectors are identically zero
+        if previous is not None and (
+            mass is previous
+            or (
+                np.array_equal(mass[0], previous[0])
+                and np.array_equal(mass[1], previous[1])
+            )
+        ):
+            # Truncated fixpoint: later sweeps are copies of this one and
+            # can never win the (Φ, -Vol, t, j) tie; same rule as the dict
+            # scan so the backends break at the same step.
+            break
+        previous = mass
         state = csr_backend.build_sweep(csr, mass)
         if state.jmax == 0:
             continue
@@ -253,31 +278,53 @@ def _charge_rounds(
 
 
 def _run_nibble(
-    graph: Graph,
+    graph: Graph | PeeledCSR,
     start: Vertex,
     scale: int,
     params: NibbleParameters,
     report: Optional[RoundReport],
     approximate: bool,
     backend: str,
-    csr: Optional[CSRGraph],
+    csr: Optional[CSRGraph | PeeledCSR],
 ) -> Optional[NibbleCut]:
-    """Shared walk-then-scan body of Nibble and ApproximateNibble."""
+    """Shared walk-then-scan body of Nibble and ApproximateNibble.
+
+    ``graph`` may be a :class:`~repro.graphs.peel.PeeledCSR` view, in which
+    case the masked CSR engine runs directly on it (``backend`` is ignored)
+    and the cut is measured in the peeled working graph — exactly what the
+    dict path measures on the materialised ``G{U}``.
+    """
     if not 1 <= scale <= params.ell:
         raise ValueError(f"scale b={scale} outside 1..ell={params.ell}")
     label = "approximate_nibble" if approximate else "nibble"
     _charge_rounds(report, f"{label}(b={scale})", params)
-    # The backend request wins over a supplied snapshot: an explicit
-    # backend="dict" must run the dict engine even if a csr object is around.
-    chosen = resolve_backend(graph, backend)
+    if isinstance(graph, PeeledCSR):
+        # A peeled view always runs the masked CSR engine: there is no dict
+        # graph to fall back to, and the view already *is* the snapshot.
+        chosen = "csr"
+        if csr is None:
+            csr = graph
+    else:
+        # The backend request wins over a supplied snapshot: an explicit
+        # backend="dict" must run the dict engine even if a csr object is
+        # around.
+        chosen = resolve_backend(graph, backend)
     if chosen == "csr":
         if csr is None:
             csr = CSRGraph.from_graph(graph)
         if start not in csr.index:
             raise KeyError(f"start vertex {start!r} not in graph")
-        sequence = csr_backend.truncated_walk_sequence(
-            csr, csr.index[start], params.t0, params.epsilon_b(scale)
-        )
+        if isinstance(csr, PeeledCSR):
+            # The guarded masked variant: a peeled view's base index still
+            # contains dead vertices, and a walk seeded at one would leak
+            # mass through the base adjacency into nonsense cuts.
+            sequence = peel_backend.truncated_walk_sequence(
+                csr, csr.index[start], params.t0, params.epsilon_b(scale)
+            )
+        else:
+            sequence = csr_backend.truncated_walk_sequence(
+                csr, csr.index[start], params.t0, params.epsilon_b(scale)
+            )
         return scan_walk_sequence_csr(
             csr, sequence, scale, params, start, approximate=approximate
         )

@@ -39,6 +39,21 @@ class ParameterMode(enum.Enum):
     PRACTICAL = "practical"
 
 
+def graph_stats(graph) -> tuple[int, int]:
+    """``(num_edges, total_volume)`` of a ``Graph`` or a peeled/CSR view.
+
+    ``Graph.total_volume`` is a method while ``CSRGraph`` /
+    :class:`~repro.graphs.peel.PeeledCSR` expose an integer attribute; this
+    shim lets the parameter schedules accept any of them, so a batch on a
+    peeled working view derives exactly the integers the dict path derives
+    from the materialised ``G{U}``.
+    """
+    total_volume = graph.total_volume
+    if callable(total_volume):
+        total_volume = total_volume()
+    return int(graph.num_edges), int(total_volume)
+
+
 @dataclass(frozen=True)
 class NibbleParameters:
     """All scalar parameters a single Nibble/ApproximateNibble run needs."""
@@ -78,8 +93,8 @@ class NibbleParameters:
     @classmethod
     def paper(cls, graph: Graph, phi: float) -> "NibbleParameters":
         """The verbatim constants of Appendix A."""
-        m = max(graph.num_edges, 2)
-        volume = graph.total_volume()
+        num_edges, volume = graph_stats(graph)
+        m = max(num_edges, 2)
         log_e2 = math.log(m * math.e**2)
         log_e4 = math.log(m * math.e**4)
         t0 = int(math.ceil(49.0 * log_e2 / (phi * phi)))
@@ -115,8 +130,8 @@ class NibbleParameters:
         benchmarks.  γ and ε_b keep the paper's functional dependence on φ and
         t₀ with constant 1.
         """
-        m = max(graph.num_edges, 2)
-        volume = graph.total_volume()
+        num_edges, volume = graph_stats(graph)
+        m = max(num_edges, 2)
         log_m = math.log(m + math.e)
         if t0_override is not None:
             t0 = int(t0_override)

@@ -62,10 +62,12 @@ def build_sweep(graph: Graph, mass: Mapping[Vertex, float]) -> SweepState:
     The conductance is measured in ``graph`` (which, in the decomposition, is
     already the degree-preserving subgraph G{U}).
     """
+    adj = graph._adj
+    loops = graph._loops
     rho = {
-        v: m / graph.degree(v)
+        v: m / (len(adj[v]) + loops[v])
         for v, m in mass.items()
-        if m > 0.0 and graph.degree(v) > 0
+        if m > 0.0 and (len(adj[v]) + loops[v]) > 0
     }
     order = sorted(rho, key=lambda v: (-rho[v], repr(v)))
     total_volume = graph.total_volume()

@@ -7,7 +7,15 @@ from .chernoff import (
     min_samples_for_failure,
     whp_threshold,
 )
-from .rng import SeedLike, ensure_rng, exponential_shift, random_id, sample_by_degree, spawn
+from .rng import (
+    SeedLike,
+    ensure_rng,
+    exponential_shift,
+    random_id,
+    sample_by_degree,
+    sample_index_by_weight,
+    spawn,
+)
 from .rounds import RoundReport, parallel_rounds, sequential_rounds
 
 __all__ = [
@@ -22,6 +30,7 @@ __all__ = [
     "parallel_rounds",
     "random_id",
     "sample_by_degree",
+    "sample_index_by_weight",
     "sequential_rounds",
     "spawn",
     "whp_threshold",

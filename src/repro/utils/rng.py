@@ -36,17 +36,35 @@ def exponential_shift(rng: np.random.Generator, beta: float) -> float:
     return float(rng.exponential(scale=1.0 / beta))
 
 
-def sample_by_degree(rng: np.random.Generator, degrees: dict, total: Optional[int] = None):
-    """Sample one vertex proportionally to its degree (the ψ_V distribution)."""
-    items = list(degrees.items())
-    weights = np.array([d for _, d in items], dtype=float)
-    if total is None:
-        total = weights.sum()
+def sample_index_by_weight(rng: np.random.Generator, weights: np.ndarray) -> int:
+    """Sample a position of ``weights`` proportionally to its value.
+
+    The single shared weighted draw behind every degree-proportional start
+    sample: the dict path (:func:`sample_by_degree`) and the peeled-CSR path
+    (:meth:`repro.graphs.peel.PeeledCSR.sample_start`) both route through
+    this function with identical weight vectors, so the two backends consume
+    the RNG stream identically and pick the same vertex for a shared seed.
+    """
+    total = weights.sum()
     if total <= 0:
         raise ValueError("cannot sample from a zero-volume graph")
-    probabilities = weights / weights.sum()
-    idx = int(rng.choice(len(items), p=probabilities))
-    return items[idx][0]
+    return int(rng.choice(len(weights), p=weights / total))
+
+
+def sample_by_degree(rng: np.random.Generator, degrees: dict, total: Optional[int] = None):
+    """Sample one vertex proportionally to its degree (the ψ_V distribution).
+
+    Iteration order of ``degrees`` determines which vertex a given RNG draw
+    maps to; callers that need cross-backend reproducibility build the dict
+    in ``repr``-sorted order (see :func:`repro.decomposition.sparse_cut.random_nibble`).
+    ``total``, when given, only pre-validates the caller's volume; the
+    normaliser is always the weight sum itself.
+    """
+    if total is not None and total <= 0:
+        raise ValueError("cannot sample from a zero-volume graph")
+    items = list(degrees.items())
+    weights = np.array([d for _, d in items], dtype=float)
+    return items[sample_index_by_weight(rng, weights)][0]
 
 
 def random_id(rng: np.random.Generator, bits: int = 48) -> int:

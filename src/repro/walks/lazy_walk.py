@@ -61,19 +61,29 @@ def lazy_walk_step(graph: Graph, p: Mapping[Vertex, float]) -> MassVector:
     associative; without a pinned order the backends would drift by ULPs
     and could break sweep ties differently.)
     """
+    # Internal adjacency access (no per-vertex set copies, no method
+    # dispatch): this loop is the dict backend's hottest code.  The
+    # accumulation order is fixed by the outer sort alone — each target
+    # receives exactly one share per source — so touching `_adj` directly
+    # cannot change a single bit of the result.
+    adj = graph._adj
+    loops = graph._loops
     incoming: MassVector = {}
     keep: MassVector = {}
+    get = incoming.get
     for v, mass in sorted(p.items(), key=lambda item: repr(item[0])):
         if mass <= 0.0:
             continue
-        deg = graph.degree(v)
+        neighbors = adj[v]
+        self_loops = loops[v]
+        deg = len(neighbors) + self_loops
         if deg == 0:
             keep[v] = mass
             continue
-        keep[v] = mass * (0.5 + 0.5 * graph.self_loops(v) / deg)
+        keep[v] = mass * (0.5 + 0.5 * self_loops / deg)
         share = mass / (2.0 * deg)
-        for u in graph.neighbors(v):
-            incoming[u] = incoming.get(u, 0.0) + share
+        for u in neighbors:
+            incoming[u] = get(u, 0.0) + share
     result: MassVector = incoming
     for v, mass in keep.items():
         result[v] = result.get(v, 0.0) + mass
@@ -82,10 +92,13 @@ def lazy_walk_step(graph: Graph, p: Mapping[Vertex, float]) -> MassVector:
 
 def truncate(graph: Graph, p: Mapping[Vertex, float], epsilon: float) -> MassVector:
     """[p]_ε: zero every entry with ``p(x) < 2 ε deg(x)``."""
+    adj = graph._adj
+    loops = graph._loops
+    threshold = 2.0 * epsilon
     return {
         v: mass
         for v, mass in p.items()
-        if mass >= 2.0 * epsilon * graph.degree(v) and mass > 0.0
+        if mass >= threshold * (len(adj[v]) + loops[v]) and mass > 0.0
     }
 
 
@@ -97,12 +110,23 @@ def truncated_walk_step(graph: Graph, p: Mapping[Vertex, float], epsilon: float)
 def truncated_walk_sequence(
     graph: Graph, start: Vertex, steps: int, epsilon: float
 ) -> list[MassVector]:
-    """The sequence p̃_0, ..., p̃_steps from a point mass at ``start``."""
+    """The sequence p̃_0, ..., p̃_steps from a point mass at ``start``.
+
+    Stepping stops early in two output-identical cases: when all mass falls
+    below the truncation threshold (the rest of the sequence is identically
+    zero) and when a step reproduces its predecessor bit-for-bit (the walk
+    reached its IEEE fixpoint — on small well-mixed components this happens
+    in a fraction of ``t0`` steps).  Either way the returned list still has
+    ``steps + 1`` entries, padded with the terminal vector, so consumers
+    that index by time (the CONGEST parity tests, the sweep scans) see the
+    exact sequence a full run would produce.
+    """
     if start not in graph:
         raise KeyError(f"start vertex {start!r} not in graph")
     sequence = [point_mass(start)]
     current = sequence[0]
     for _ in range(steps):
+        previous = current
         current = truncated_walk_step(graph, current, epsilon)
         sequence.append(current)
         if not current:
@@ -110,6 +134,11 @@ def truncated_walk_sequence(
             # sequence is identically zero, no need to keep stepping.
             remaining = steps - (len(sequence) - 1)
             sequence.extend({} for _ in range(remaining))
+            break
+        if current == previous:
+            # Truncated fixpoint: every later vector equals this one.
+            remaining = steps - (len(sequence) - 1)
+            sequence.extend(current for _ in range(remaining))
             break
     return sequence
 

@@ -1,0 +1,91 @@
+"""Randomized balance harness: Theorem 3 output vs exhaustive ground truth.
+
+The ROADMAP's open item: property-test the nearly most balanced sparse cut
+against ``most_balanced_sparse_cut_exact`` on every graph small enough to
+enumerate (n ≤ 16).  Two kinds of pinning:
+
+* *soundness* (deterministic, every run): whatever cut the algorithm
+  returns really is a cut of the input graph with exactly the reported
+  statistics, and its balance can never exceed the exhaustive optimum at
+  its own conductance level — the exact enumerator dominates by
+  construction;
+* *recall* (seeded, structured instances): on dumbbell-type graphs whose
+  sparsest cut is unambiguous, the returned balance achieves Theorem 3's
+  factor-two guarantee against the exact optimum.
+
+Both engines run the same harness: the dict reference and the peeled-CSR
+path must return identical cuts (cut-identity is the peeling engine's
+contract), so the guarantees transfer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decomposition import nearly_most_balanced_sparse_cut
+from repro.graphs.generators import dumbbell_cliques, erdos_renyi_graph
+from repro.graphs.metrics import most_balanced_sparse_cut_exact
+
+
+def small_random_graphs():
+    """Random graphs with n ≤ 16, skipping edgeless draws."""
+    graphs = []
+    for seed in range(14):
+        g = erdos_renyi_graph(10 + seed % 7, 0.3, seed=seed)
+        if g.num_edges > 0:
+            graphs.append((seed, g))
+    return graphs
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("phi", [0.15, 0.3])
+    def test_reported_statistics_match_the_graph(self, phi):
+        for seed, g in small_random_graphs():
+            found = nearly_most_balanced_sparse_cut(g, phi, seed=seed)
+            if found.is_empty:
+                assert found.certified_no_cut
+                assert found.balance == 0.0
+                continue
+            assert found.conductance == pytest.approx(
+                g.conductance_of_cut(found.cut)
+            )
+            assert found.balance == pytest.approx(g.balance_of_cut(found.cut))
+            assert found.cut_size == g.cut_size(found.cut)
+
+    @pytest.mark.parametrize("phi", [0.15, 0.3])
+    def test_never_beats_the_exact_optimum(self, phi):
+        """Any returned cut has conductance Φ₀; the exhaustive most balanced
+        cut among all cuts with conductance ≤ Φ₀ bounds its balance."""
+        for seed, g in small_random_graphs():
+            found = nearly_most_balanced_sparse_cut(g, phi, seed=seed)
+            if found.is_empty:
+                continue
+            exact = most_balanced_sparse_cut_exact(g, found.conductance)
+            assert not exact.is_empty  # found's own cut qualifies
+            assert found.balance <= exact.balance + 1e-12
+
+    def test_dict_and_peeled_engines_agree_on_the_harness(self):
+        for seed, g in small_random_graphs()[:6]:
+            dict_found = nearly_most_balanced_sparse_cut(
+                g, 0.3, seed=seed, backend="dict"
+            )
+            peel_found = nearly_most_balanced_sparse_cut(
+                g, 0.3, seed=seed, backend="csr"
+            )
+            assert dict_found.cut == peel_found.cut
+            assert dict_found.certified_no_cut == peel_found.certified_no_cut
+
+
+class TestRecall:
+    @pytest.mark.parametrize("clique_size,path_length", [(5, 1), (6, 1), (5, 3)])
+    @pytest.mark.parametrize("seed", [3, 5, 9])
+    def test_factor_two_balance_on_dumbbells(self, clique_size, path_length, seed):
+        """Theorem 3's guarantee on instances where the sparse cut is real:
+        the returned balance is within a factor two of the exact optimum."""
+        g = dumbbell_cliques(clique_size, path_length)
+        exact = most_balanced_sparse_cut_exact(g, 0.2)
+        assert exact.balance > 0  # the dumbbell waist is a 0.2-sparse cut
+        found = nearly_most_balanced_sparse_cut(g, 0.2, seed=seed)
+        assert not found.is_empty
+        assert found.conductance <= 0.2
+        assert found.balance >= exact.balance / 2.0

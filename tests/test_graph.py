@@ -68,3 +68,56 @@ class TestDegreePreservation:
             g.remove_edge_with_loops(u, v)
         assert {v: g.degree(v) for v in g.vertices()} == before
         assert g.total_volume() == total_before
+
+    def test_remove_j_on_a_self_loop_preserves_degree(self):
+        """Regression: Remove-j of a self loop used to add a compensating
+        loop "per endpoint" — two loops for one removed (degree-1) loop,
+        inflating the degree by 1."""
+        g = Graph(edges=[(0, 0), (0, 1)])
+        assert g.degree(0) == 2
+        g.remove_edge_with_loops(0, 0)
+        assert g.degree(0) == 2  # loop replaced by exactly one loop
+        assert g.self_loops(0) == 1
+        assert g.total_volume() == 3
+
+    def test_remove_j_missing_self_loop_raises(self):
+        g = Graph(edges=[(0, 1)])
+        with pytest.raises(KeyError):
+            g.remove_edge_with_loops(0, 0)
+
+
+class TestPeelToEmptyAndAllLoops:
+    def test_remove_vertex_with_only_self_loops(self):
+        """An all-loops vertex (every incident edge a self loop, as Remove-j
+        leaves behind) must remove cleanly with consistent accounting."""
+        g = Graph(vertices=[0, 1], edges=[(0, 1)])
+        g.remove_edge_with_loops(0, 1)
+        assert g.num_edges == 0 and g.degree(0) == 1 and g.degree(1) == 1
+        g.remove_vertex(0)
+        assert 0 not in g
+        assert g.num_self_loops == 1 and g.total_volume() == 1
+
+    def test_peel_to_empty_via_remove_vertex(self):
+        g = ring_of_cliques(3, 4)
+        # Remove-j every edge of one clique first so some vertices end up
+        # all-loops before the vertex drops start.
+        clique = [(0, i) for i in range(4)]
+        for u, v in g.edges_within(clique):
+            g.remove_edge_with_loops(u, v)
+        for v in list(g.vertices()):
+            g.remove_vertex(v)
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.num_self_loops == 0
+        assert g.total_volume() == 0
+
+    def test_degree_preserved_through_full_removal_sequence(self):
+        g = ring_of_cliques(3, 4)
+        survivors = [(1, i) for i in range(4)] + [(2, i) for i in range(4)]
+        before = {v: g.degree(v) for v in survivors}
+        clique = [(0, i) for i in range(4)]
+        for u, v in g.cut_edges(clique):
+            g.remove_edge_with_loops(u, v)
+        for v in clique:
+            g.remove_vertex(v)
+        assert {v: g.degree(v) for v in survivors} == before

@@ -22,6 +22,7 @@ CHECKED_PATHS = [
     "src/repro/nibble",
     "src/repro/decomposition",
     "src/repro/graphs/csr.py",
+    "src/repro/graphs/peel.py",
 ]
 
 
