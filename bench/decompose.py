@@ -1,6 +1,6 @@
 """Benchmark harness for the expander decomposition pipeline.
 
-Four sections, all emitted into one JSON report
+Five sections, all emitted into one JSON report
 (``BENCH_decomposition.json`` by default):
 
 * ``results`` — full decompositions of the four small generator families
@@ -20,17 +20,25 @@ Four sections, all emitted into one JSON report
   of cuts out of one shared :class:`PeeledCSR` (the incremental engine)
   against the dict Remove-j loop plus the per-cut ``CSRGraph`` re-snapshot
   it replaced, with a structural-equality assertion per step.
+* ``triangle_results`` — the Theorem 2 application workload:
+  decomposition-based triangle enumeration (cluster stage + removed-edge
+  recursion, verified exactly against the oriented enumerator) next to
+  the CPZ-style degeneracy baseline, with per-stage timings and the
+  paper's Õ-style round comparison.  Set agreement between the two
+  routes is asserted, never observed.
 
 Usage::
 
     PYTHONPATH=src python bench/decompose.py [--seed N] [--output PATH]
         [--skip-large] [--smoke] [--xl]
 
-``--skip-large`` runs only the original small section (seconds);
-``--smoke`` is the CI guard: small families only, exits non-zero unless
-every run certifies 100% of its components within the ε·m budget;
-``--xl`` adds a 10⁵-vertex stage comparison (minutes, dominated by the
-dict baseline's own runtime — which is rather the point).
+``--skip-large`` runs only the small sections — the original families
+plus the triangle stage (seconds); ``--smoke`` is the CI guard: small
+families only, exits non-zero unless every run certifies 100% of its
+components within the ε·m budget *and* every triangle stage agrees with
+the oriented enumerator; ``--xl`` adds a 10⁵-vertex stage comparison
+(minutes, dominated by the dict baseline's own runtime — which is rather
+the point).
 """
 
 from __future__ import annotations
@@ -53,6 +61,10 @@ from repro.graphs.generators import (
 )
 from repro.nibble.nibble import approximate_nibble
 from repro.nibble.parameters import NibbleParameters
+from repro.triangles import (
+    cpz_baseline_enumeration,
+    decomposition_triangle_enumeration,
+)
 from repro.utils.rng import ensure_rng, sample_by_degree
 
 
@@ -138,6 +150,73 @@ def stage_families(seed: int, xl: bool) -> list[tuple[str, Callable[[], Graph], 
             )
         )
     return out
+
+
+def triangle_families(seed: int, smoke: bool) -> list[tuple[str, Callable[[], Graph], float, float]]:
+    """(name, builder, epsilon, phi) per triangle-workload family.
+
+    The smoke run sticks to the four ground-truth families; the full run
+    adds a mid-size ring (n=640, 22400 triangles with a closed-form count)
+    so the vectorized cluster stage is exercised above the dict threshold.
+    """
+    out = [(name, builder, eps, phi) for name, builder, eps, phi in families(seed)]
+    if not smoke:
+        out.append(
+            ("ring_of_cliques(40,16)", lambda: ring_of_cliques(40, 16), 0.10, 0.10)
+        )
+    return out
+
+
+def run_triangle_stage(
+    name: str, graph: Graph, epsilon: float, phi: float, seed: int
+) -> dict:
+    """Run the Theorem 2 workload and the CPZ baseline on one family.
+
+    Each route is timed doing only its own work (the workload runs with
+    ``verify=False`` so its wall time is not padded with a full oriented
+    enumeration — the very thing the baseline column measures); agreement
+    is then asserted *outside* the timed regions by comparing the two
+    routes' triangle sets, which is exact oriented-enumerator equality
+    because the baseline is the oriented enumerator.  A disagreement
+    raises and aborts the benchmark, so no record with a wrong count can
+    ever be written.  Timings split the decomposition investment from the
+    enumeration work; rounds put the paper's Õ(n^{1/3})-style charge next
+    to the baseline's ⌈√n⌉ one.
+    """
+    begin = time.perf_counter()
+    workload = decomposition_triangle_enumeration(
+        graph, epsilon=epsilon, phi=phi, seed=seed, verify=False
+    )
+    workload_s = time.perf_counter() - begin
+    begin = time.perf_counter()
+    baseline = cpz_baseline_enumeration(graph)
+    baseline_s = time.perf_counter() - begin
+    agreement = baseline.triangles == workload.triangles
+    if not agreement:
+        raise AssertionError(f"{name}: baseline and decomposition routes disagree")
+    stage = workload.stage_seconds
+    return {
+        "family": name,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "epsilon": epsilon,
+        "phi": phi,
+        "seed": seed,
+        "triangles": workload.count,
+        "cluster_triangles": workload.cluster_triangle_count,
+        "cross_triangles": workload.cross_triangle_count,
+        "levels": workload.num_levels,
+        "num_clusters": workload.levels[0].num_clusters if workload.levels else 0,
+        "agreement": agreement,  # asserted above: False never reaches a record
+        "degeneracy": baseline.degeneracy,
+        "decomposition_rounds": round(workload.decomposition_rounds, 1),
+        "enumeration_rounds": round(workload.enumeration_rounds, 1),
+        "baseline_rounds": round(baseline.report.total_rounds, 1),
+        "decompose_time_s": stage["decompose_s"],
+        "enumerate_time_s": stage["enumerate_s"],
+        "workload_time_s": round(workload_s, 3),
+        "baseline_time_s": round(baseline_s, 3),
+    }
 
 
 def run_family(
@@ -328,6 +407,20 @@ def main() -> None:
             f"{record['wall_time_s']}s"
         )
 
+    triangle_records = []
+    for name, builder, epsilon, phi in triangle_families(args.seed, args.smoke):
+        record = run_triangle_stage(name, builder(), epsilon, phi, args.seed)
+        triangle_records.append(record)
+        print(
+            f"[triangles] {name}: {record['triangles']} triangles "
+            f"({record['cluster_triangles']} cluster + "
+            f"{record['cross_triangles']} cross, {record['levels']} levels, "
+            f"agreement asserted), enumeration "
+            f"{record['enumeration_rounds']:.0f} vs baseline "
+            f"{record['baseline_rounds']:.0f} rounds, "
+            f"{record['workload_time_s']}s vs {record['baseline_time_s']}s"
+        )
+
     large_records = []
     stage_records = []
     peel_records = []
@@ -369,21 +462,33 @@ def main() -> None:
     payload = {
         "benchmark": "expander_decomposition",
         "results": records,
+        "triangle_results": triangle_records,
         "large_results": large_records,
         "walk_sweep_comparison": stage_records,
         "peel_comparison": peel_records,
     }
     if args.smoke:
-        # The smoke contract: every small family fully certified, in budget.
+        # The smoke contract: every small family fully certified, in budget,
+        # and every triangle stage in exact agreement with the oriented
+        # enumerator (a disagreement would already have raised above; the
+        # recorded flag is re-checked so the contract is visible here).
         broken = [
             r["family"]
             for r in records
             if r["certified_fraction"] < 1.0 or not r["within_budget"]
         ]
+        broken += [
+            f"{r['family']} (triangles)"
+            for r in triangle_records
+            if not r["agreement"]
+        ]
         if broken:
             print(f"SMOKE FAILED: uncertified or over-budget families: {broken}")
             sys.exit(1)
-        print("smoke passed: all families 100% certified within budget")
+        print(
+            "smoke passed: all families 100% certified within budget, "
+            "triangle stages agree with the oriented enumerator"
+        )
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)
     print(f"wrote {args.output}")

@@ -2,8 +2,9 @@
 
 Distributed expander decomposition: truncated lazy random walks (Nibble),
 the nearly most balanced sparse cut (Theorem 3), the recursive expander
-decomposition (Section 2), and a CONGEST simulator the distributed variants
-run on.
+decomposition (Section 2), the triangle-enumeration application built on
+top of it (Theorem 2, :mod:`repro.triangles`), and a CONGEST simulator the
+distributed variants run on.
 """
 
 __version__ = "0.1.0"

@@ -10,6 +10,8 @@ from .metrics import (
     brute_force_triangles,
     conductance,
     cut_size,
+    degeneracy,
+    degeneracy_order,
     estimate_conductance,
     estimate_mixing_time,
     graph_conductance_exact,
@@ -48,6 +50,8 @@ __all__ = [
     "cheeger_bounds",
     "conductance",
     "cut_size",
+    "degeneracy",
+    "degeneracy_order",
     "effective_conductance",
     "estimate_conductance",
     "estimate_mixing_time",

@@ -176,6 +176,19 @@ class CSRGraph:
         flat = self.indices[np.repeat(starts, counts) + offsets]
         return row_id, flat
 
+    def directed_edge_keys(self) -> np.ndarray:
+        """Every directed adjacency entry ``(u, v)`` encoded as ``u·n + v``.
+
+        The array is ascending by construction (rows ascend, and within a
+        row ``indices`` ascend), so it is directly usable with
+        ``np.searchsorted`` as an O(log m) edge-membership test — the
+        primitive behind the vectorized triangle machinery
+        (:mod:`repro.triangles`).  Both directions of each undirected edge
+        are present, so a lookup never needs to canonicalise its key.
+        """
+        rows = np.repeat(np.arange(self.n, dtype=np.int64), self.proper_degree)
+        return rows * np.int64(self.n) + self.indices
+
     def to_graph(self) -> Graph:
         """Materialise back into a mutable dict-of-sets ``Graph``."""
         g = Graph(vertices=self.vertices)

@@ -354,8 +354,20 @@ def disjoint_cliques(num_cliques: int, clique_size: int) -> Graph:
 def triangle_rich_graph(n: int, p: float = 0.3, seed: SeedLike = None) -> Graph:
     """Erdős–Rényi graph with extra planted triangles.
 
-    Guarantees a known set of planted triangles (each on a fresh vertex
-    triple) so enumeration tests can assert specific triangles are reported.
+    Guarantees a known set of planted triangles (each on a random vertex
+    triple whose three edges are forced present) so enumeration tests can
+    assert specific triangles are reported.
+
+    Expected triangle density: the G(n, p) background alone contributes
+    C(n, 3)·p³ triangles in expectation — ≈ n³p³/6, i.e. ~154 at the
+    default ``n=60, p=0.3`` — on top of which ``max(1, n // 10)`` triples
+    are planted (closing a planted edge can create further incidental
+    triangles, so the plant count is a lower bound on the surplus).  At the
+    default ``p`` the family is therefore *dense* in triangles relative to
+    its ≈ n²p/2 edges: about 0.85 triangles per edge at n=60, growing
+    linearly with n — which is exactly what the enumeration workloads want
+    to stress, in contrast to the triangle-free ring bridges of
+    :func:`ring_of_cliques`.
     """
     rng = _rng(seed)
     g = erdos_renyi_graph(n, p, rng)

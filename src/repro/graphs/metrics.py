@@ -214,32 +214,55 @@ def estimate_mixing_time(
 # ----------------------------------------------------------------------
 # arboricity (used to describe the CPZ baseline's extra part)
 # ----------------------------------------------------------------------
+def degeneracy_order(graph: Graph) -> tuple[list[Vertex], int]:
+    """Canonical degeneracy order plus the degeneracy itself.
+
+    Repeatedly removes a vertex of minimum residual proper degree, breaking
+    ties by the canonical ``repr``-sorted position (the same total order the
+    CSR index map and the dict sweep use), so the order — and therefore any
+    edge orientation derived from it — is identical across backends and
+    runs.  Returns ``(order, degeneracy)`` where ``degeneracy`` is the
+    maximum residual degree seen at removal time.
+
+    The order is the backbone of the triangle machinery
+    (:mod:`repro.triangles`): orienting each edge from earlier to later in
+    this order bounds every vertex's forward degree by the degeneracy,
+    which is what caps the oriented enumerator's work at O(m·degeneracy).
+    O(n log n + m log n) heap-based peeling.
+    """
+    import heapq
+
+    vertices = sorted(graph.vertices(), key=repr)
+    pos = {v: i for i, v in enumerate(vertices)}
+    remaining = {v: graph.proper_degree(v) for v in vertices}
+    heap = [(remaining[v], pos[v]) for v in vertices]
+    heapq.heapify(heap)
+    removed: set = set()
+    order: list[Vertex] = []
+    best = 0
+    while heap:
+        d, p = heapq.heappop(heap)
+        v = vertices[p]
+        if v in removed or d != remaining[v]:
+            continue
+        removed.add(v)
+        order.append(v)
+        best = max(best, d)
+        for u in graph.neighbors(v):
+            if u not in removed:
+                remaining[u] -= 1
+                heapq.heappush(heap, (remaining[u], pos[u]))
+    return order, best
+
+
 def degeneracy(graph: Graph) -> int:
     """Degeneracy (max over the peeling order of the min remaining degree).
 
     Degeneracy is a 2-approximation of arboricity; we use it to measure the
-    "extra part" produced by the CPZ-style baseline decomposition.
+    "extra part" produced by the CPZ-style baseline decomposition.  The
+    peeling order itself is available from :func:`degeneracy_order`.
     """
-    remaining = {v: graph.proper_degree(v) for v in graph.vertices()}
-    adj = {v: set(graph.neighbors(v)) for v in graph.vertices()}
-    best = 0
-    # Simple O(n log n + m) bucket-free peeling; graphs here are modest.
-    import heapq
-
-    heap = [(d, v) for v, d in remaining.items()]
-    heapq.heapify(heap)
-    removed: set = set()
-    while heap:
-        d, v = heapq.heappop(heap)
-        if v in removed or d != remaining[v]:
-            continue
-        removed.add(v)
-        best = max(best, d)
-        for u in adj[v]:
-            if u not in removed:
-                remaining[u] -= 1
-                heapq.heappush(heap, (remaining[u], u))
-    return best
+    return degeneracy_order(graph)[1]
 
 
 def arboricity_upper_bound(graph: Graph) -> int:
@@ -277,9 +300,19 @@ def densest_subgraph_density(graph: Graph) -> float:
 def brute_force_triangles(graph: Graph) -> set[frozenset]:
     """All triangles of the graph as frozensets of three vertices.
 
-    O(sum_v deg(v)^2); fine for the graph sizes used in tests and benchmarks,
-    and the ground truth every enumeration algorithm is checked against.
+    The *oracle*, not the algorithm: an unoriented O(Σ_v deg(v)²) scan that
+    visits every triangle three times, kept only as tiny-graph ground truth
+    for the oriented enumerator (:func:`repro.triangles.oriented_triangles`)
+    and therefore guarded at ``n <= EXACT_ENUMERATION_LIMIT`` like the other
+    exhaustive certifiers in this module.  Every non-test path enumerates
+    through :mod:`repro.triangles` instead.
     """
+    if graph.num_vertices > EXACT_ENUMERATION_LIMIT:
+        raise ValueError(
+            f"brute-force triangle enumeration is a test oracle "
+            f"(n={graph.num_vertices} > {EXACT_ENUMERATION_LIMIT}); "
+            "use repro.triangles.oriented_triangles"
+        )
     triangles: set[frozenset] = set()
     for v in graph.vertices():
         nbrs = sorted(graph.neighbors(v), key=repr)
@@ -290,6 +323,15 @@ def brute_force_triangles(graph: Graph) -> set[frozenset]:
     return triangles
 
 
-def triangle_count(graph: Graph) -> int:
-    """Number of triangles in the graph."""
-    return len(brute_force_triangles(graph))
+def triangle_count(graph: Graph, backend: str = "auto") -> int:
+    """Number of triangles in the graph, via the oriented enumerator.
+
+    Delegates to :func:`repro.triangles.oriented_triangle_count` (degeneracy
+    orientation + sorted-adjacency intersection, O(m·degeneracy)), so this
+    stays usable at benchmark scale; the old brute-force path survives only
+    as the size-guarded :func:`brute_force_triangles` oracle.  ``backend``
+    selects the counting engine exactly as in the rest of the pipeline.
+    """
+    from ..triangles.oriented import oriented_triangle_count
+
+    return oriented_triangle_count(graph, backend=backend)

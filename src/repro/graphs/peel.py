@@ -291,6 +291,24 @@ class PeeledCSR:
         )
         return PeeledCSR.full(base)
 
+    def alive_edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """Residual proper edges as index arrays ``(u, v)`` with ``u < v``.
+
+        Exactly the alive–alive edges of the view (each undirected edge
+        once), gathered with one masked ``flat_adjacency`` pass.  This is
+        the "intra-cluster edge list" primitive of the Theorem 2 triangle
+        workload: a cluster's view yields the edges whose wedges the
+        cluster is responsible for closing (:mod:`repro.triangles`).
+        """
+        idx = self.alive_indices()
+        if idx.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        row_id, flat = self.flat_adjacency(idx)
+        u = idx[row_id]
+        keep = u < flat
+        return u[keep], flat[keep]
+
     # ------------------------------------------------------------------
     # masked cut / volume queries (twins of the Graph methods)
     # ------------------------------------------------------------------

@@ -9,9 +9,11 @@ enumerate (n ≤ 16).  Two kinds of pinning:
   statistics, and its balance can never exceed the exhaustive optimum at
   its own conductance level — the exact enumerator dominates by
   construction;
-* *recall* (seeded, structured instances): on dumbbell-type graphs whose
-  sparsest cut is unambiguous, the returned balance achieves Theorem 3's
-  factor-two guarantee against the exact optimum.
+* *recall* (seeded, structured instances): on instances whose sparsest
+  cut is unambiguous — dumbbells, rings of cliques, and two-community
+  planted partitions, all within the exhaustive n ≤ 16 window — the
+  returned balance achieves Theorem 3's factor-two guarantee against the
+  exact optimum.
 
 Both engines run the same harness: the dict reference and the peeled-CSR
 path must return identical cuts (cut-identity is the peeling engine's
@@ -23,7 +25,12 @@ from __future__ import annotations
 import pytest
 
 from repro.decomposition import nearly_most_balanced_sparse_cut
-from repro.graphs.generators import dumbbell_cliques, erdos_renyi_graph
+from repro.graphs.generators import (
+    dumbbell_cliques,
+    erdos_renyi_graph,
+    planted_partition_graph,
+    ring_of_cliques,
+)
 from repro.graphs.metrics import most_balanced_sparse_cut_exact
 
 
@@ -85,6 +92,36 @@ class TestRecall:
         g = dumbbell_cliques(clique_size, path_length)
         exact = most_balanced_sparse_cut_exact(g, 0.2)
         assert exact.balance > 0  # the dumbbell waist is a 0.2-sparse cut
+        found = nearly_most_balanced_sparse_cut(g, 0.2, seed=seed)
+        assert not found.is_empty
+        assert found.conductance <= 0.2
+        assert found.balance >= exact.balance / 2.0
+
+    @pytest.mark.parametrize("num_cliques,clique_size", [(3, 5), (4, 4)])
+    @pytest.mark.parametrize("seed", [3, 5, 9])
+    def test_factor_two_balance_on_rings_of_cliques(
+        self, num_cliques, clique_size, seed
+    ):
+        """Ring instances have many equally good sparse cuts (any arc of
+        cliques); the harness must still land within a factor two of the
+        most balanced one rather than stopping at a single clique."""
+        g = ring_of_cliques(num_cliques, clique_size)
+        exact = most_balanced_sparse_cut_exact(g, 0.2)
+        assert exact.balance > 0  # cutting an arc of cliques is 0.2-sparse
+        found = nearly_most_balanced_sparse_cut(g, 0.2, seed=seed)
+        assert not found.is_empty
+        assert found.conductance <= 0.2
+        assert found.balance >= exact.balance / 2.0
+
+    @pytest.mark.parametrize("graph_seed", [1, 3, 5, 9])
+    @pytest.mark.parametrize("seed", [3, 5, 9])
+    def test_factor_two_balance_on_planted_partitions(self, graph_seed, seed):
+        """Two dense communities with a sparse crossing: the planted cut is
+        nearly perfectly balanced, so factor-two recall here rules out the
+        failure mode of returning one tiny well-separated pocket."""
+        g = planted_partition_graph(2, 8, 0.9, 0.05, seed=graph_seed)
+        exact = most_balanced_sparse_cut_exact(g, 0.2)
+        assert exact.balance > 0  # the planted bisection is 0.2-sparse
         found = nearly_most_balanced_sparse_cut(g, 0.2, seed=seed)
         assert not found.is_empty
         assert found.conductance <= 0.2

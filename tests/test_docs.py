@@ -1,8 +1,10 @@
 """The docs gate runs as a tier-1 test too, not only as a CI job.
 
-A missing README or an undocumented public function in ``repro.nibble`` /
-``repro.decomposition`` / ``repro.graphs.csr`` fails the suite locally, so
-doc rot is caught before a PR ever reaches the CI docs job.
+A missing required doc (README, ARCHITECTURE, PEELING, TRIANGLES) or an
+undocumented public function in ``repro.nibble`` / ``repro.decomposition`` /
+``repro.triangles`` / ``repro.graphs.csr`` / ``repro.graphs.peel`` fails
+the suite locally, so doc rot is caught before a PR ever reaches the CI
+docs job.
 """
 
 from __future__ import annotations
@@ -22,6 +24,12 @@ def test_readme_exists():
 
 def test_architecture_doc_exists():
     assert (REPO_ROOT / "docs" / "ARCHITECTURE.md").is_file()
+
+
+def test_required_docs_all_exist():
+    """Every document the gate names (incl. PEELING.md / TRIANGLES.md)."""
+    for rel in check_docstrings.REQUIRED_DOCS:
+        assert (REPO_ROOT / rel).is_file(), f"{rel} is required"
 
 
 def test_public_api_docstrings():

@@ -1,10 +1,11 @@
-"""Docs gate for CI: README must exist, public APIs must be documented.
+"""Docs gate for CI: user docs must exist, public APIs must be documented.
 
 Walks the AST of every module under ``repro.nibble``, ``repro.decomposition``,
-and ``repro.graphs.csr`` and fails (exit code 1) if any module, public class,
-or public function/method lacks a docstring, or if ``README.md`` is missing
-at the repository root.  Pure stdlib, grep-free, no third-party linter
-needed.
+``repro.triangles``, and the vectorized graph layers and fails (exit code 1)
+if any module, public class, or public function/method lacks a docstring, or
+if any of the required user-facing documents (``README.md``,
+``docs/ARCHITECTURE.md``, ``docs/PEELING.md``, ``docs/TRIANGLES.md``) is
+missing.  Pure stdlib, grep-free, no third-party linter needed.
 
 Usage::
 
@@ -21,8 +22,18 @@ from pathlib import Path
 CHECKED_PATHS = [
     "src/repro/nibble",
     "src/repro/decomposition",
+    "src/repro/triangles",
     "src/repro/graphs/csr.py",
     "src/repro/graphs/peel.py",
+]
+
+#: User-facing documents the repository must ship (checked like the README:
+#: a rename or deletion fails the gate loudly instead of rotting quietly).
+REQUIRED_DOCS = [
+    "README.md",
+    "docs/ARCHITECTURE.md",
+    "docs/PEELING.md",
+    "docs/TRIANGLES.md",
 ]
 
 
@@ -73,8 +84,9 @@ def missing_docstrings(path: Path) -> list[str]:
 def main(root: Path) -> int:
     """Run the gate; print violations and return a process exit code."""
     problems: list[str] = []
-    if not (root / "README.md").is_file():
-        problems.append(f"{root / 'README.md'}: missing (the repo must have a README)")
+    for rel in REQUIRED_DOCS:
+        if not (root / rel).is_file():
+            problems.append(f"{root / rel}: missing (required user-facing doc)")
     for path in iter_python_files(root):
         problems.extend(missing_docstrings(path))
     if problems:
@@ -82,7 +94,7 @@ def main(root: Path) -> int:
         for line in problems:
             print(f"  {line}")
         return 1
-    print("docs gate passed: README present, all public APIs documented")
+    print("docs gate passed: required docs present, all public APIs documented")
     return 0
 
 
