@@ -26,6 +26,11 @@ Five sections, all emitted into one JSON report
   the CPZ-style degeneracy baseline, with per-stage timings and the
   paper's Õ-style round comparison.  Set agreement between the two
   routes is asserted, never observed.
+* ``triangle_cache_results`` — the repeated-query amortisation: the same
+  triangle query run cold and then warm through one
+  :class:`~repro.triangles.workload.DecompositionCache`, with
+  bit-identical triangle sets asserted and the cold/warm speedup
+  recorded.
 
 Usage::
 
@@ -33,20 +38,23 @@ Usage::
         [--skip-large] [--smoke] [--xl]
 
 ``--skip-large`` runs only the small sections — the original families
-plus the triangle stage (seconds); ``--smoke`` is the CI guard: small
+plus the triangle stages (seconds); ``--smoke`` is the CI guard: small
 families only, exits non-zero unless every run certifies 100% of its
-components within the ε·m budget *and* every triangle stage agrees with
-the oriented enumerator; ``--xl`` adds a 10⁵-vertex stage comparison
-(minutes, dominated by the dict baseline's own runtime — which is rather
-the point).
+components within the ε·m budget, every triangle stage agrees with the
+oriented enumerator, *and* the certification fast path is cut-identical
+to a fast-path-off rerun of every family; ``--xl`` adds a 10⁵-vertex
+stage comparison (minutes, dominated by the dict baseline's own runtime —
+which is rather the point).  ``bench/compare.py`` diffs two reports.
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import sys
 import time
+from collections import Counter
 from typing import Callable, Optional
 
 from repro.decomposition import expander_decomposition
@@ -62,6 +70,7 @@ from repro.graphs.generators import (
 from repro.nibble.nibble import approximate_nibble
 from repro.nibble.parameters import NibbleParameters
 from repro.triangles import (
+    DecompositionCache,
     cpz_baseline_enumeration,
     decomposition_triangle_enumeration,
 )
@@ -183,6 +192,7 @@ def run_triangle_stage(
     enumeration work; rounds put the paper's Õ(n^{1/3})-style charge next
     to the baseline's ⌈√n⌉ one.
     """
+    gc.collect()
     begin = time.perf_counter()
     workload = decomposition_triangle_enumeration(
         graph, epsilon=epsilon, phi=phi, seed=seed, verify=False
@@ -227,8 +237,14 @@ def run_family(
     seed: int,
     backend: str = "auto",
     sparse_cut_kwargs: Optional[dict] = None,
+    fast_path: bool = True,
 ) -> dict:
     """Decompose one family and collect its quality/cost record."""
+    # Collect before timing: earlier sections leave live caches/records
+    # whose repeated young-generation GC scans otherwise tax dict-heavy
+    # runs by ~25% (measured on the n=10240 ring) — harness noise, not
+    # algorithm cost.  Same hygiene in every timed stage below.
+    gc.collect()
     start = time.perf_counter()
     result = expander_decomposition(
         graph,
@@ -237,6 +253,7 @@ def run_family(
         seed=seed,
         backend=backend,
         sparse_cut_kwargs=sparse_cut_kwargs,
+        fast_path=fast_path,
     )
     elapsed = time.perf_counter() - start
     sizes = sorted((len(c) for c in result.components), reverse=True)
@@ -248,6 +265,7 @@ def run_family(
         "phi": phi,
         "seed": seed,
         "backend": backend,
+        "fast_path": fast_path,
         "num_components": result.num_components,
         "component_sizes": sizes,
         "certified_fraction": result.certified_fraction,
@@ -256,6 +274,79 @@ def run_family(
         "within_budget": result.within_budget,
         "congest_rounds": result.report.total_rounds,
         "wall_time_s": round(elapsed, 3),
+    }
+
+
+def assert_fast_path_identity(
+    name: str, graph: Graph, epsilon: float, phi: float, seed: int
+) -> None:
+    """Assert the fast path changes nothing: cut-identical on/off runs.
+
+    Runs the full decomposition twice with the same seed — certification
+    fast path on, then off — and requires identical component vertex sets
+    and an identical removed-edge multiset.  A mismatch raises and aborts
+    the benchmark: the smoke gate treats "the fast path changed an output"
+    as a broken build, not a data point.
+    """
+    on = expander_decomposition(
+        graph, epsilon=epsilon, phi=phi, seed=seed, fast_path=True
+    )
+    off = expander_decomposition(
+        graph, epsilon=epsilon, phi=phi, seed=seed, fast_path=False
+    )
+    same_components = {c.vertices for c in on.components} == {
+        c.vertices for c in off.components
+    }
+    same_cuts = Counter(frozenset(e) for e in on.cut_edges) == Counter(
+        frozenset(e) for e in off.cut_edges
+    )
+    if not (same_components and same_cuts):
+        raise AssertionError(
+            f"{name}: fast path changed the decomposition "
+            f"(components equal: {same_components}, cuts equal: {same_cuts})"
+        )
+
+
+def run_triangle_cache_stage(
+    name: str, graph: Graph, epsilon: float, phi: float, seed: int
+) -> dict:
+    """Cold-vs-warm repeated triangle query through one DecompositionCache.
+
+    The same query (same graph, same seed) runs twice against a shared
+    :class:`~repro.triangles.workload.DecompositionCache`; the warm run
+    must return the bit-identical triangle set (asserted — a cache that
+    changes an answer aborts the benchmark) and its speedup quantifies the
+    per-level decomposition reuse ROADMAP asked for.
+    """
+    cache = DecompositionCache()
+    gc.collect()
+    begin = time.perf_counter()
+    cold = decomposition_triangle_enumeration(
+        graph, epsilon=epsilon, phi=phi, seed=seed, verify=False, cache=cache
+    )
+    cold_s = time.perf_counter() - begin
+    begin = time.perf_counter()
+    warm = decomposition_triangle_enumeration(
+        graph, epsilon=epsilon, phi=phi, seed=seed, verify=False, cache=cache
+    )
+    warm_s = time.perf_counter() - begin
+    identical = cold.triangles == warm.triangles
+    if not identical:
+        raise AssertionError(f"{name}: cached rerun changed the triangle set")
+    return {
+        "family": name,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "epsilon": epsilon,
+        "phi": phi,
+        "seed": seed,
+        "triangles": cold.count,
+        "identical": identical,  # asserted above: False never reaches a record
+        "cold_time_s": round(cold_s, 3),
+        "warm_time_s": round(warm_s, 4),
+        "speedup": round(cold_s / warm_s, 1) if warm_s > 0 else float("inf"),
+        "cache_hits": cache.hits,
+        "cache_misses": cache.misses,
     }
 
 
@@ -276,6 +367,7 @@ def run_stage_comparison(name: str, graph: Graph, phi: float, seed: int, num_sta
     starts = [sample_by_degree(rng, degrees) for _ in range(num_starts)]
     scales = [1, params.ell] if num_starts > 1 else [params.ell]
 
+    gc.collect()
     build_start = time.perf_counter()
     csr = CSRGraph.from_graph(graph)
     csr_build_s = time.perf_counter() - build_start
@@ -334,6 +426,7 @@ def run_peel_comparison(name: str, graph: Graph, num_steps: int) -> dict:
         groups.setdefault(v[0] if isinstance(v, tuple) else v, []).append(v)
     order = sorted(groups)[:num_steps]
 
+    gc.collect()
     work = graph.copy()
     resnapshot_s = 0.0
     reference_stats = []  # (n, m, vol) after each step, collected untimed
@@ -407,6 +500,13 @@ def main() -> None:
             f"{record['wall_time_s']}s"
         )
 
+    if args.smoke:
+        # The fast-path identity gate: cut-identical decompositions with
+        # the certification fast path on and off, per small family.
+        for name, builder, epsilon, phi in families(args.seed):
+            assert_fast_path_identity(name, builder(), epsilon, phi, args.seed)
+        print("fast-path identity: on/off runs cut-identical on all families")
+
     triangle_records = []
     for name, builder, epsilon, phi in triangle_families(args.seed, args.smoke):
         record = run_triangle_stage(name, builder(), epsilon, phi, args.seed)
@@ -419,6 +519,16 @@ def main() -> None:
             f"{record['enumeration_rounds']:.0f} vs baseline "
             f"{record['baseline_rounds']:.0f} rounds, "
             f"{record['workload_time_s']}s vs {record['baseline_time_s']}s"
+        )
+
+    triangle_cache_records = []
+    for name, builder, epsilon, phi in triangle_families(args.seed, args.smoke):
+        record = run_triangle_cache_stage(name, builder(), epsilon, phi, args.seed)
+        triangle_cache_records.append(record)
+        print(
+            f"[triangle-cache] {name}: cold {record['cold_time_s']}s vs warm "
+            f"{record['warm_time_s']}s → {record['speedup']}x "
+            f"({record['cache_hits']} hits, triangle sets asserted identical)"
         )
 
     large_records = []
@@ -463,6 +573,7 @@ def main() -> None:
         "benchmark": "expander_decomposition",
         "results": records,
         "triangle_results": triangle_records,
+        "triangle_cache_results": triangle_cache_records,
         "large_results": large_records,
         "walk_sweep_comparison": stage_records,
         "peel_comparison": peel_records,
@@ -482,12 +593,18 @@ def main() -> None:
             for r in triangle_records
             if not r["agreement"]
         ]
+        broken += [
+            f"{r['family']} (triangle cache)"
+            for r in triangle_cache_records
+            if not r["identical"]
+        ]
         if broken:
             print(f"SMOKE FAILED: uncertified or over-budget families: {broken}")
             sys.exit(1)
         print(
             "smoke passed: all families 100% certified within budget, "
-            "triangle stages agree with the oriented enumerator"
+            "triangle stages agree with the oriented enumerator, fast path "
+            "and decomposition cache are output-identical"
         )
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)

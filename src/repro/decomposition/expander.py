@@ -35,7 +35,11 @@ from typing import Optional
 from ..graphs.csr import CSRGraph, resolve_backend_size
 from ..graphs.graph import Edge, Graph, Vertex
 from ..graphs.peel import PeeledCSR, maybe_compact
-from ..graphs.spectral import certify_conductance
+from ..graphs.spectral import (
+    SpectralCertificate,
+    batched_component_certificates,
+    certify_conductance,
+)
 from ..nibble.parameters import ParameterMode, h_inverse
 from ..utils.rng import SeedLike, ensure_rng
 from ..utils.rounds import RoundReport
@@ -134,6 +138,7 @@ def expander_decomposition(
     max_depth: Optional[int] = None,
     sparse_cut_kwargs: Optional[dict] = None,
     backend: str = "auto",
+    fast_path: bool = True,
 ) -> DecompositionResult:
     """Decompose ``graph`` into φ-expander components, removing ≤ ε·m edges.
 
@@ -167,6 +172,22 @@ def expander_decomposition(
         masked restriction) instead of a rebuilt dict graph.  All engines
         return identical cuts, hence identical decompositions for a fixed
         seed.
+    fast_path:
+        The certification fast path (default on): spectral pre-checks skip
+        ParallelNibble batches that are provably failures, sibling
+        components split off together get their spectral solves batched
+        into stacked ``eigh`` calls
+        (:func:`repro.graphs.spectral.batched_component_certificates`) and
+        handed down as pre-check hints, and the walk kernels run under the
+        adaptive budget.  The pre-check and its RNG replay are
+        output-neutral by construction (a skip only happens on a
+        converged solve proving every skipped batch a failure, and
+        :func:`certify_conductance` remains the authoritative final
+        check); the adaptive budget is a convergence heuristic — both are
+        pinned cut-identical on/off by the parity suite and the bench
+        smoke gate.  Leaf components certify
+        straight off the peeled view on the CSR path (no dict ``G{U}``
+        rebuild) regardless of this flag.
     """
     rng = ensure_rng(seed)
     report = RoundReport("expander_decomposition")
@@ -175,14 +196,17 @@ def expander_decomposition(
         max_depth = recursion_depth_bound(graph.num_vertices)
     components: list[ExpanderComponent] = []
     removed: list[Edge] = []
-    # sparse_cut_kwargs may legitimately carry its own "backend"; an
-    # explicit entry there wins over the decomposition-level default.
-    cut_kwargs = {"backend": backend, **(sparse_cut_kwargs or {})}
+    # sparse_cut_kwargs may legitimately carry its own "backend" or
+    # "fast_path"; an explicit entry there wins over the
+    # decomposition-level default.
+    cut_kwargs = {"backend": backend, "fast_path": fast_path, **(sparse_cut_kwargs or {})}
     base: Optional[CSRGraph] = None  # one shared snapshot for every CSR level
 
-    stack: list[tuple[frozenset, int]] = [(frozenset(graph.vertices()), 0)]
+    stack: list[tuple[frozenset, int, Optional[SpectralCertificate]]] = [
+        (frozenset(graph.vertices()), 0, None)
+    ]
     while stack:
-        subset, depth = stack.pop()
+        subset, depth, hint = stack.pop()
         if not subset:
             continue
         view: Optional[PeeledCSR] = None
@@ -198,12 +222,9 @@ def expander_decomposition(
             )
         else:
             work = graph.induced_with_loops(subset)
+        target: "Graph | PeeledCSR" = view if view is not None else work
 
-        def materialized() -> Graph:
-            """The dict ``G{U}``, built lazily on the CSR path (certification)."""
-            return work if work is not None else graph.induced_with_loops(subset)
-
-        if len(subset) == 1 or (view.num_edges if view is not None else work.num_edges) == 0:
+        if len(subset) == 1 or target.num_edges == 0:
             # Isolated vertices (all their degree is self loops) are
             # vacuously φ-expanders: they admit no cut at all.
             for v in subset:
@@ -212,21 +233,27 @@ def expander_decomposition(
                 )
             continue
 
-        pieces = (
-            view.connected_components() if view is not None else work.connected_components()
-        )
+        pieces = target.connected_components()
         if len(pieces) > 1:
             # Splitting along existing components removes no edges.  The
             # canonical piece order (ascending smallest ``repr``, which the
             # peeled view produces natively) keeps the recursion — and with
             # it the RNG stream — identical across backends.
             pieces.sort(key=lambda piece: min(map(repr, piece)))
-            for piece in pieces:
-                stack.append((frozenset(piece), depth))
+            if cut_kwargs["fast_path"] and view is not None:
+                # Batch the sibling components' spectral solves: one
+                # stacked eigh per size class instead of one dispatch per
+                # future pre-check.  Each hint is bit-identical to the solo
+                # solve, so downstream decisions are unchanged.
+                hints = batched_component_certificates(view, pieces)
+            else:
+                hints = [None] * len(pieces)
+            for piece, piece_hint in zip(pieces, hints):
+                stack.append((frozenset(piece), depth, piece_hint))
             continue
 
         if depth >= max_depth:
-            certified, estimate, _ = certify_conductance(materialized(), phi)
+            certified, estimate, _ = certify_conductance(target, phi, precomputed=hint)
             components.append(
                 ExpanderComponent(frozenset(subset), certified, estimate, depth)
             )
@@ -238,11 +265,12 @@ def expander_decomposition(
         search_phi = theta if mode is ParameterMode.PAPER else max(theta, phi)
         level_report = report.subreport(f"level {depth} (n={len(subset)})")
         cut_result = nearly_most_balanced_sparse_cut(
-            view if view is not None else work,
+            target,
             search_phi,
             mode=mode,
             seed=rng,
             report=level_report,
+            spectral_hint=hint,
             **cut_kwargs,
         )
 
@@ -250,8 +278,12 @@ def expander_decomposition(
         if not cut_result.is_empty:
             split = cut_result.cut
         else:
-            work = materialized()
-            certified, estimate, witness = certify_conductance(work, phi)
+            # Authoritative final check, straight off the working view on
+            # the CSR path (no dict G{U} rebuild); an exact certificate the
+            # fast path already computed for this very graph is reused.
+            certified, estimate, witness = certify_conductance(
+                target, phi, precomputed=cut_result.spectral or hint
+            )
             if certified:
                 components.append(
                     ExpanderComponent(frozenset(subset), True, estimate, depth)
@@ -261,7 +293,7 @@ def expander_decomposition(
             # split on the check's own witness cut so a missed sparse cut
             # cannot silently produce an uncertified component.
             if witness and len(witness) < len(subset):
-                level_report.subreport("fallback_split").charge(work.num_vertices)
+                level_report.subreport("fallback_split").charge(target.num_vertices)
                 split = frozenset(witness)
             else:
                 components.append(
@@ -274,8 +306,8 @@ def expander_decomposition(
             removed.extend(view.cut_edges(view.indices_of(split)))
         else:
             removed.extend(work.cut_edges(split))
-        stack.append((split, depth + 1))
-        stack.append((rest, depth + 1))
+        stack.append((split, depth + 1, None))
+        stack.append((rest, depth + 1, None))
 
     return DecompositionResult(
         components=components,

@@ -44,6 +44,11 @@ import numpy as np
 from ..graphs.csr import CSRGraph, resolve_backend
 from ..graphs.graph import Graph, Vertex
 from ..graphs.peel import PeeledCSR, maybe_compact
+from ..graphs.spectral import (
+    PRECHECK_MARGIN,
+    SpectralCertificate,
+    conductance_lower_bound,
+)
 from ..nibble.nibble import NibbleCut, approximate_nibble
 from ..nibble.parameters import NibbleParameters, ParameterMode
 from ..utils.rng import SeedLike, ensure_rng, sample_by_degree
@@ -82,6 +87,7 @@ def random_nibble(
     backend: str = "auto",
     csr: Optional[CSRGraph] = None,
     degrees: Optional[dict] = None,
+    adaptive: bool = True,
 ) -> Optional[NibbleCut]:
     """One RandomNibble instance: random degree-proportional start, random b.
 
@@ -89,11 +95,12 @@ def random_nibble(
     ``repr``-sorted order on every backend (the dict path builds its degree
     map in that order, the peeled path's ascending index order *is* that
     order), so the dict and peeled engines consume the same ``rng`` stream
-    and pick the same start for a shared seed.  ``backend``/``csr`` are as
-    in :func:`repro.nibble.nibble.nibble`; a :class:`PeeledCSR` ``graph``
-    always runs the masked CSR engine.  ``degrees`` may carry a prebuilt
-    :func:`_sorted_degree_map` so a batch of instances on an unchanged
-    graph pays for it once; it must describe the current graph.
+    and pick the same start for a shared seed.  ``backend``/``csr``/
+    ``adaptive`` are as in :func:`repro.nibble.nibble.nibble`; a
+    :class:`PeeledCSR` ``graph`` always runs the masked CSR engine.
+    ``degrees`` may carry a prebuilt :func:`_sorted_degree_map` so a batch
+    of instances on an unchanged graph pays for it once; it must describe
+    the current graph.
     """
     rng = ensure_rng(rng)
     if isinstance(graph, PeeledCSR):
@@ -102,7 +109,12 @@ def random_nibble(
             return None
         scale = sample_scale(rng, params.ell)
         return approximate_nibble(
-            graph, graph.vertices[start_index], scale, params, report=report
+            graph,
+            graph.vertices[start_index],
+            scale,
+            params,
+            report=report,
+            adaptive=adaptive,
         )
     if degrees is None:
         degrees = _sorted_degree_map(graph)
@@ -111,7 +123,14 @@ def random_nibble(
     start = sample_by_degree(rng, degrees)
     scale = sample_scale(rng, params.ell)
     return approximate_nibble(
-        graph, start, scale, params, report=report, backend=backend, csr=csr
+        graph,
+        start,
+        scale,
+        params,
+        report=report,
+        backend=backend,
+        csr=csr,
+        adaptive=adaptive,
     )
 
 
@@ -147,6 +166,7 @@ def parallel_nibble_cuts(
     report: Optional[RoundReport] = None,
     backend: str = "auto",
     csr: Optional[CSRGraph] = None,
+    adaptive: bool = True,
 ) -> list[NibbleCut]:
     """A ParallelNibble batch, harvesting every disjoint certified cut.
 
@@ -190,6 +210,7 @@ def parallel_nibble_cuts(
             backend=chosen,
             csr=csr,
             degrees=degrees,
+            adaptive=adaptive,
         )
         instance_reports.append(instance_report)
         if cut is not None and not cut.is_empty:
@@ -207,6 +228,7 @@ def parallel_nibble(
     report: Optional[RoundReport] = None,
     backend: str = "auto",
     csr: Optional[CSRGraph] = None,
+    adaptive: bool = True,
 ) -> Optional[NibbleCut]:
     """A batch of RandomNibble instances; returns the best cut found, if any.
 
@@ -216,14 +238,31 @@ def parallel_nibble(
     harvest directly.
     """
     cuts = parallel_nibble_cuts(
-        graph, params, num_instances, rng, report=report, backend=backend, csr=csr
+        graph,
+        params,
+        num_instances,
+        rng,
+        report=report,
+        backend=backend,
+        csr=csr,
+        adaptive=adaptive,
     )
     return cuts[0] if cuts else None
 
 
 @dataclass(frozen=True)
 class SparseCutResult:
-    """Output of the nearly most balanced sparse cut (Theorem 3)."""
+    """Output of the nearly most balanced sparse cut (Theorem 3).
+
+    ``spectral`` carries the exact spectral certificate of the *input*
+    graph when the fast path computed (or was handed) one — only possible
+    on empty results, whose working graph never changed — so the expander
+    decomposition's authoritative :func:`repro.graphs.spectral
+    .certify_conductance` can reuse the solve instead of repeating it.
+    ``precheck_skips`` counts the ParallelNibble batches the spectral
+    pre-check proved pointless and skipped (their RNG draws are still
+    consumed, so skipping is invisible to every downstream sample).
+    """
 
     cut: frozenset
     conductance: float
@@ -232,6 +271,8 @@ class SparseCutResult:
     certified_no_cut: bool
     batches: int
     report: RoundReport
+    spectral: Optional[SpectralCertificate] = None
+    precheck_skips: int = 0
 
     @property
     def is_empty(self) -> bool:
@@ -242,6 +283,45 @@ class SparseCutResult:
 def default_num_instances(graph: WorkGraph) -> int:
     """Batch size for ParallelNibble: Θ(log m) independent instances."""
     return max(4, math.ceil(math.log2(max(graph.num_edges, 2))))
+
+
+def _burn_skipped_batches(
+    search_graph: WorkGraph,
+    params: NibbleParameters,
+    batch_size: int,
+    count: int,
+    rng: np.random.Generator,
+) -> None:
+    """Consume the RNG draws ``count`` skipped ParallelNibble batches would.
+
+    When the spectral pre-check proves every remaining failure batch
+    pointless, the batches' walks and sweeps are skipped — but each of
+    their RandomNibble instances would still have drawn one start vertex
+    and one truncation scale from the shared stream.  Replaying exactly
+    those draws (same weighted start sample, same scale sample, same
+    order) keeps the generator state bit-identical to a fast-path-off run,
+    so every later level of the decomposition sees an unchanged stream and
+    the two runs stay cut-identical end to end.  The graph is unchanged
+    across the skipped batches (they would all have applied nothing), so
+    one degree map serves every burned instance, exactly as
+    :func:`parallel_nibble_cuts` would have rebuilt it per batch.
+    """
+    if count <= 0:
+        return
+    if isinstance(search_graph, PeeledCSR):
+        for _ in range(count):
+            for _ in range(batch_size):
+                if search_graph.sample_start(rng) is None:
+                    return
+                sample_scale(rng, params.ell)
+        return
+    degrees = _sorted_degree_map(search_graph)
+    if not degrees:
+        return
+    for _ in range(count):
+        for _ in range(batch_size):
+            sample_by_degree(rng, degrees)
+            sample_scale(rng, params.ell)
 
 
 class _DictWork:
@@ -393,6 +473,8 @@ def nearly_most_balanced_sparse_cut(
     report: Optional[RoundReport] = None,
     params_overrides: Optional[dict] = None,
     backend: str = "auto",
+    fast_path: bool = True,
+    spectral_hint: Optional[SpectralCertificate] = None,
 ) -> SparseCutResult:
     """Theorem 3: accumulate Nibble cuts into a nearly most balanced sparse cut.
 
@@ -420,6 +502,21 @@ def nearly_most_balanced_sparse_cut(
     runs every batch and every removal masked — no per-batch re-snapshot.
     A ``PeeledCSR`` input always runs the peeled engine.  All choices are
     cut-identical for a shared seed.
+
+    ``fast_path`` enables the certification fast path (default on): before
+    a batch is launched against a working graph whose state has not been
+    pre-checked yet, the cheap Cheeger lower bound
+    (:func:`repro.graphs.spectral.conductance_lower_bound`) is consulted —
+    when it strictly clears ``phi``, every remaining batch is guaranteed to
+    fail, so the batches are skipped with their RNG draws replayed
+    (:func:`_burn_skipped_batches`) and the empty certificate is issued
+    directly; the walks also run under the adaptive budget.  Both halves
+    are output-neutral by construction: the decomposition retains the full
+    spectral certification as the authoritative final check, and the
+    parity suite pins cut-identity with the fast path on and off.
+    ``spectral_hint`` may carry a precomputed certificate of the *input*
+    graph (the decomposition batches sibling components' solves) so the
+    first pre-check costs nothing.
     """
     rng = ensure_rng(seed)
     own_report = report if report is not None else RoundReport("sparse_cut")
@@ -434,6 +531,9 @@ def nearly_most_balanced_sparse_cut(
     accumulated_volume = 0
     failures = 0
     batches = 0
+    precheck_skips = 0
+    spectral_cert: Optional[SpectralCertificate] = None
+    checked = False  # whether the current working-graph state was pre-checked
 
     while (
         work.num_edges > 0
@@ -445,9 +545,40 @@ def nearly_most_balanced_sparse_cut(
             work.search_graph, phi, mode, **(params_overrides or {})
         )
         batch_size = num_instances or default_num_instances(work.search_graph)
+        if fast_path and not checked:
+            checked = True
+            if spectral_hint is not None and not accumulated:
+                bound, cert = spectral_hint.cheeger_lower_bound, spectral_hint
+            else:
+                bound, cert = conductance_lower_bound(work.search_graph, phi=phi)
+            if cert is not None and cert.exact and not accumulated:
+                # Valid for the *input* graph: nothing has been removed yet.
+                spectral_cert = cert
+            if bound > phi + PRECHECK_MARGIN:
+                # Φ(working graph) ≥ λ₂/2 > φ: no prefix can ever satisfy
+                # (C.1), so every remaining batch until max_failures would
+                # apply nothing.  Skip them, replay their RNG draws, and
+                # charge the pre-check's matvec rounds in their place.
+                skipped = max_failures - failures
+                _burn_skipped_batches(
+                    work.search_graph, params, batch_size, skipped, rng
+                )
+                own_report.subreport("spectral_precheck").charge(
+                    2 * math.ceil(math.log2(max(work.search_graph.num_vertices, 2)))
+                )
+                batches += skipped
+                precheck_skips += skipped
+                failures = max_failures
+                break
         batches += 1
         cuts = parallel_nibble_cuts(
-            work.search_graph, params, batch_size, rng, report=own_report, backend=backend
+            work.search_graph,
+            params,
+            batch_size,
+            rng,
+            report=own_report,
+            backend=backend,
+            adaptive=fast_path,
         )
         applied = 0
         for found in cuts:
@@ -472,6 +603,8 @@ def nearly_most_balanced_sparse_cut(
             failures += 1
         else:
             failures = 0
+            checked = False  # the working graph changed: re-check before
+            # the next batch (an unchanged graph keeps its verdict)
 
     if not accumulated:
         return SparseCutResult(
@@ -482,6 +615,8 @@ def nearly_most_balanced_sparse_cut(
             certified_no_cut=True,
             batches=batches,
             report=own_report,
+            spectral=spectral_cert,
+            precheck_skips=precheck_skips,
         )
     # Report the small side of the final cut, measured in the input graph.
     if work.initial_volume(accumulated) > total_volume / 2.0:
@@ -495,4 +630,5 @@ def nearly_most_balanced_sparse_cut(
         certified_no_cut=False,
         batches=batches,
         report=own_report,
+        precheck_skips=precheck_skips,
     )

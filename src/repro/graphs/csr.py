@@ -41,8 +41,13 @@ from .graph import Graph, Vertex
 
 #: ``backend="auto"`` switches from the dict to the CSR engine at this many
 #: vertices.  Below it the per-step numpy dispatch overhead outweighs the
-#: vectorization win; above it the CSR path dominates (see EXPERIMENTS.md).
-CSR_AUTO_THRESHOLD = 512
+#: vectorization win; above it the CSR path dominates.  PR 5 re-measured
+#: the crossover after the walk-budget and pre-check changes shifted the
+#: mix toward long cut-finding walks on mid-size working graphs: the CSR
+#: engine now wins from a few dozen vertices up (≈1.2× end-to-end on the
+#: n=10240 ring decomposition vs the old 512 cutoff — see EXPERIMENTS.md),
+#: so only genuinely tiny graphs stay on the dict reference engine.
+CSR_AUTO_THRESHOLD = 32
 
 #: The three recognised backend names.
 BACKENDS = ("dict", "csr", "auto")
@@ -109,6 +114,7 @@ class CSRGraph:
         "total_volume",
         "vertices",
         "index",
+        "_edge_keys",
     )
 
     def __init__(
@@ -127,6 +133,7 @@ class CSRGraph:
         self.proper_degree = np.diff(indptr)
         self.degree = self.proper_degree + loops
         self.total_volume = int(self.degree.sum())
+        self._edge_keys: Optional[np.ndarray] = None
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "CSRGraph":
@@ -185,9 +192,17 @@ class CSRGraph:
         primitive behind the vectorized triangle machinery
         (:mod:`repro.triangles`).  Both directions of each undirected edge
         are present, so a lookup never needs to canonicalise its key.
+
+        The array is built once and memoised on the snapshot (the snapshot
+        is immutable, so it can never go stale): every cluster of a
+        triangle-workload level, and every repeated query through a
+        :class:`~repro.triangles.workload.DecompositionCache`, shares one
+        copy.  Callers must treat it as read-only.
         """
-        rows = np.repeat(np.arange(self.n, dtype=np.int64), self.proper_degree)
-        return rows * np.int64(self.n) + self.indices
+        if self._edge_keys is None:
+            rows = np.repeat(np.arange(self.n, dtype=np.int64), self.proper_degree)
+            self._edge_keys = rows * np.int64(self.n) + self.indices
+        return self._edge_keys
 
     def to_graph(self) -> Graph:
         """Materialise back into a mutable dict-of-sets ``Graph``."""
@@ -337,6 +352,30 @@ def truncated_walk_sequence(
     return sequence
 
 
+def truncated_walk_iter(csr: CSRGraph, start: int, steps: int, epsilon: float):
+    """Lazily yield p̃_0, ..., p̃_steps (each a :data:`SparseMass`).
+
+    The generator twin of :func:`truncated_walk_sequence`: it yields the
+    *same* vectors in the same order but computes a step only when the
+    consumer asks for it, so a certification scan that stops early — at
+    zero mass, at the IEEE fixpoint, or under the adaptive walk budget
+    (:class:`repro.nibble.sweep.WalkBudgetTracker`) — never pays for the
+    walk steps it does not sweep.  Unlike the list variant there is no
+    terminal padding; consumers that index by time step (the CONGEST
+    parity tests) keep using :func:`truncated_walk_sequence`.
+    """
+    if not 0 <= start < csr.n:
+        raise KeyError(f"start index {start!r} not in graph")
+    p = point_mass(csr, start)
+    yield sparsify(p)
+    for _ in range(steps):
+        p = truncated_walk_step(csr, p, epsilon)
+        mass = sparsify(p)
+        yield mass
+        if mass[0].size == 0:
+            return
+
+
 # ----------------------------------------------------------------------
 # vectorized sweep prefix scan (paper Appendix A's π̃ orderings)
 # ----------------------------------------------------------------------
@@ -419,28 +458,22 @@ def candidate_indices_from_volumes(prefix_volume: np.ndarray, phi: float) -> lis
     return candidates
 
 
-def build_sweep(csr: CSRGraph, mass: SparseMass) -> CSRSweep:
-    """Order the support of ``mass`` by ρ̃ and precompute prefix statistics.
+def prefix_cut_profile(csr: CSRGraph, order: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Prefix volumes and prefix cut sizes of an explicit vertex-index order.
 
-    The numpy analogue of :func:`repro.nibble.sweep.build_sweep` +
-    :meth:`repro.graphs.graph.Graph.prefix_cut_profile`: ρ̃ = mass/degree,
-    sort by (-ρ̃, index) via ``lexsort`` (index order equals the dict
-    backend's ``repr`` tie-break by construction), prefix volumes by
-    ``cumsum`` of degrees, and prefix cut sizes by counting, for each swept
-    vertex, how many of its neighbors precede it in the ordering.
+    The numpy twin of :meth:`repro.graphs.graph.Graph.prefix_cut_profile`:
+    ``prefix_volume[j]`` / ``prefix_cut[j]`` are Vol / |∂| of the length-``j``
+    prefix of ``order`` (entry 0 is the empty prefix), computed with one
+    ``cumsum`` and one ``flat_adjacency`` gather.  ``csr`` may be a
+    :class:`~repro.graphs.peel.PeeledCSR` view — the masked surface drops
+    dead targets, so the integers are those of the alive working graph.
+    Both the ρ̃-sweep (:func:`build_sweep`) and the spectral sweep cut
+    (:func:`repro.graphs.spectral.sweep_cut`'s masked path) build on it.
     """
-    idx, vals = mass
-    deg = csr.degree[idx]
-    keep = (vals > 0) & (deg > 0)
-    idx = idx[keep]
-    vals = vals[keep]
-    rho = vals / csr.degree[idx]
-    perm = np.lexsort((idx, -rho))
-    order = idx[perm]
     jmax = len(order)
     prefix_volume = np.zeros(jmax + 1, dtype=np.int64)
     np.cumsum(csr.degree[order], out=prefix_volume[1:])
-    # position of each ordered vertex; vertices outside the support sort
+    # position of each ordered vertex; vertices outside the order sort
     # as "after every prefix" so their edges always count toward the cut.
     pos = np.full(csr.n, jmax, dtype=np.int64)
     pos[order] = np.arange(jmax, dtype=np.int64)
@@ -451,6 +484,29 @@ def build_sweep(csr: CSRGraph, mass: SparseMass) -> CSRSweep:
         delta -= 2 * np.bincount(row_id[earlier], minlength=jmax).astype(np.int64)
     prefix_cut = np.zeros(jmax + 1, dtype=np.int64)
     np.cumsum(delta, out=prefix_cut[1:])
+    return prefix_volume, prefix_cut
+
+
+def build_sweep(csr: CSRGraph, mass: SparseMass) -> CSRSweep:
+    """Order the support of ``mass`` by ρ̃ and precompute prefix statistics.
+
+    The numpy analogue of :func:`repro.nibble.sweep.build_sweep` +
+    :meth:`repro.graphs.graph.Graph.prefix_cut_profile`: ρ̃ = mass/degree,
+    sort by (-ρ̃, index) via ``lexsort`` (index order equals the dict
+    backend's ``repr`` tie-break by construction), prefix volumes by
+    ``cumsum`` of degrees, and prefix cut sizes by counting, for each swept
+    vertex, how many of its neighbors precede it in the ordering
+    (:func:`prefix_cut_profile`).
+    """
+    idx, vals = mass
+    deg = csr.degree[idx]
+    keep = (vals > 0) & (deg > 0)
+    idx = idx[keep]
+    vals = vals[keep]
+    rho = vals / csr.degree[idx]
+    perm = np.lexsort((idx, -rho))
+    order = idx[perm]
+    prefix_volume, prefix_cut = prefix_cut_profile(csr, order)
     return CSRSweep(
         order=order,
         rho=rho[perm],

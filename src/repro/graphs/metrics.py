@@ -73,8 +73,13 @@ def graph_conductance_exact(graph: Graph) -> CutResult:
     in tests.  The returned cut attains the minimum conductance.  Degenerate
     graphs (fewer than two vertices, or zero volume) report infinite
     conductance.
+
+    Vertices are enumerated in canonical ``repr`` order so the tie-breaking
+    cut is a pure function of the graph's structure, not of its dict
+    insertion order — two structurally identical graphs built by different
+    backends hand the decomposition the same fallback witness.
     """
-    vertices = list(graph.vertices())
+    vertices = sorted(graph.vertices(), key=repr)
     n = len(vertices)
     if n < 2 or graph.total_volume() == 0:
         return CutResult(frozenset(), float("inf"), 0.0, 0)

@@ -509,6 +509,16 @@ def truncated_walk_sequence(
     return csr_kernels.truncated_walk_sequence(peel, start, steps, epsilon)
 
 
+def truncated_walk_iter(peel: PeeledCSR, start: int, steps: int, epsilon: float):
+    """Masked lazy walk generator (the view twin of
+    :func:`repro.graphs.csr.truncated_walk_iter`), with the same peeled-start
+    guard as :func:`truncated_walk_sequence`: a walk seeded at a dead base
+    index would leak mass through the base adjacency into nonsense cuts."""
+    if not peel.alive[start]:
+        raise KeyError(f"start index {start!r} is peeled")
+    return csr_kernels.truncated_walk_iter(peel, start, steps, epsilon)
+
+
 def build_sweep(peel: PeeledCSR, mass: SparseMass) -> CSRSweep:
     """Masked sweep prefix scan over an alive-supported mass vector.
 

@@ -24,16 +24,37 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Mapping, Optional, Union
 
 import numpy as np
 
 from .csr import CSRGraph
+from .csr import prefix_cut_profile as csr_prefix_cut_profile
 from .graph import Graph, Vertex
+from .peel import PeeledCSR
 
 #: Largest vertex count solved with dense ``numpy.linalg.eigh``; larger
 #: graphs use the sparse iterative path (scipy Lanczos or power iteration).
 DENSE_EIGH_LIMIT = 1500
+
+#: A graph any spectral routine here accepts: the reference dict form or a
+#: masked :class:`~repro.graphs.peel.PeeledCSR` working view.
+SpectralGraph = Union[Graph, PeeledCSR]
+
+#: Absolute safety margin of the certification fast path's pre-check: the
+#: Cheeger lower bound must clear φ by at least this much before a
+#: ParallelNibble batch is skipped.  Dense eigensolves are exact to machine
+#: precision, so the margin only needs to absorb O(n·ε_machine) rounding;
+#: the iterative bound applies its own (much larger) residual-based slack
+#: on top (:func:`_iterative_cheeger_bound`).
+PRECHECK_MARGIN = 1e-9
+
+#: Largest vertex count the *pre-check* solves densely.  Smaller than
+#: :data:`DENSE_EIGH_LIMIT` because the pre-check re-runs on every change
+#: of the working graph: a dense solve must stay far cheaper than the
+#: ParallelNibble batch it might save, while certification pays its one
+#: dense solve per component regardless.
+PRECHECK_DENSE_LIMIT = 512
 
 
 def vertex_index(graph: Graph) -> tuple[list[Vertex], dict[Vertex, int]]:
@@ -165,12 +186,26 @@ def _lambda2_power_iteration(
 def _lambda2_sparse(graph: Graph) -> tuple[float, np.ndarray, CSRGraph]:
     """(λ₂, Fiedler vector, CSR snapshot) via a sparse iterative eigensolve.
 
-    Uses ``scipy.sparse.linalg.eigsh`` on ``2I - L`` (its two largest
-    eigenvalues are 2 - λ₁ and 2 - λ₂, well-separated extremes that Lanczos
-    handles robustly); falls back to :func:`_lambda2_power_iteration` when
-    scipy is unavailable or fails to converge.
+    Snapshots the dict graph once and delegates to
+    :func:`_lambda2_sparse_csr`; the masked certification path hands the
+    same function a compacted working view's base instead, so large
+    components certify without ever materialising a dict ``G{U}``.
     """
     csr = CSRGraph.from_graph(graph)
+    lam2, fiedler = _lambda2_sparse_csr(csr)
+    return lam2, fiedler, csr
+
+
+def _lambda2_eigsh(csr: CSRGraph) -> Optional[tuple[float, np.ndarray]]:
+    """(λ₂, Fiedler vector) by a *converged* scipy Lanczos solve, or ``None``.
+
+    Uses ``scipy.sparse.linalg.eigsh`` on ``2I - L`` (its two largest
+    eigenvalues are 2 - λ₁ and 2 - λ₂, well-separated extremes that Lanczos
+    handles robustly).  Returns ``None`` when scipy is unavailable or ARPACK
+    fails to converge — callers choose their own fallback: certification
+    falls back to the best-effort power iteration, while the fast path's
+    pre-check refuses to skip work on an unconverged estimate.
+    """
     n = csr.n
     deg = csr.degree.astype(float)
     inv_sqrt = np.where(deg > 0, 1.0 / np.sqrt(np.maximum(deg, 1e-12)), 0.0)
@@ -178,8 +213,7 @@ def _lambda2_sparse(graph: Graph) -> tuple[float, np.ndarray, CSRGraph]:
         import scipy.sparse as sp
         from scipy.sparse.linalg import ArpackError, eigsh
     except ImportError:
-        lam2, fiedler = _lambda2_power_iteration(csr)
-        return lam2, fiedler, csr
+        return None
     # Matrix assembly stays outside the solver try/except: a construction
     # bug must propagate, not be papered over by the iterative fallback.
     row = np.repeat(np.arange(n), csr.proper_degree)
@@ -197,12 +231,24 @@ def _lambda2_sparse(graph: Graph) -> tuple[float, np.ndarray, CSRGraph]:
     try:
         values, vectors = eigsh(shifted, k=2, which="LM", v0=v0)
     except ArpackError:
-        lam2, fiedler = _lambda2_power_iteration(csr)
-        return lam2, fiedler, csr
+        return None
     lam = 2.0 - values
     order = np.argsort(lam)
     lam2 = float(max(0.0, lam[order[1]]))
-    return lam2, vectors[:, order[1]], csr
+    return lam2, vectors[:, order[1]]
+
+
+def _lambda2_sparse_csr(csr: CSRGraph) -> tuple[float, np.ndarray]:
+    """(λ₂, Fiedler vector) of a CSR snapshot by a sparse iterative solve.
+
+    The converged Lanczos solve (:func:`_lambda2_eigsh`) when available,
+    otherwise the best-effort deflated power iteration
+    (:func:`_lambda2_power_iteration`).
+    """
+    solved = _lambda2_eigsh(csr)
+    if solved is None:
+        return _lambda2_power_iteration(csr)
+    return solved
 
 
 def spectral_gap(graph: Graph) -> float:
@@ -237,42 +283,173 @@ class SweepCut:
     balance: float
 
 
-def fiedler_scores(graph: Graph) -> tuple[dict[Vertex, float], float]:
+@dataclass(frozen=True)
+class SpectralCertificate:
+    """One reusable spectral solve: λ₂ and the Fiedler embedding of a graph.
+
+    The certification fast path computes each working graph's eigenproblem
+    at most once and threads the result between its consumers — the
+    sparse-cut pre-check that skips ParallelNibble batches, the expander
+    decomposition's batched sibling-component solves, and the authoritative
+    :func:`certify_conductance` of the emitted component.  ``exact`` marks
+    a dense machine-precision solve; only exact certificates may substitute
+    for certification's own eigensolve (iterative pre-check estimates are
+    used solely to decide whether a batch is worth launching).
+    """
+
+    lam2: float
+    scores: Mapping[Vertex, float]
+    exact: bool
+
+    @property
+    def cheeger_lower_bound(self) -> float:
+        """λ₂/2, the Cheeger lower bound on Φ the pre-check compares to φ."""
+        return self.lam2 / 2.0
+
+
+def _masked_dense_laplacian(
+    view: PeeledCSR, idx: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """(dense normalised Laplacian, degree vector) of an alive index set.
+
+    ``idx`` must be closed under the view's alive adjacency — the whole
+    alive set, or one connected component of it — so that ``view.loops``
+    already carries every Remove-j compensation the set sees.  Matrix rows
+    follow ascending base index, which is exactly the ``repr``-sorted label
+    order :func:`vertex_index` gives the materialised ``G{U}``, and every
+    entry is produced by the same IEEE expressions as
+    :func:`normalized_laplacian`, so the two constructions are bit-identical
+    and dense eigensolves downstream agree across backends exactly.
+    """
+    k = idx.size
+    degrees = view.degree[idx].astype(float)
+    inv_sqrt = np.where(degrees > 0, 1.0 / np.sqrt(np.maximum(degrees, 1e-12)), 0.0)
+    lap = np.eye(k)
+    row_id, flat = view.flat_adjacency(idx)
+    if flat.size:
+        local = np.searchsorted(idx, flat)
+        lap[row_id, local] -= inv_sqrt[row_id] * inv_sqrt[local]
+    loops = view.loops[idx]
+    diag = np.arange(k)
+    positive = degrees > 0
+    # Mirrors the dict builder's left-associated (loops · inv) · inv so the
+    # float results agree bit-for-bit.
+    lap[diag[positive], diag[positive]] -= (
+        loops[positive] * inv_sqrt[positive]
+    ) * inv_sqrt[positive]
+    return lap, degrees
+
+
+def _embedding_scores(
+    fiedler: np.ndarray, degrees: np.ndarray, labels: list
+) -> dict[Vertex, float]:
+    """The Fiedler embedding x/sqrt(deg) as a label-keyed score dict."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        embedding = np.where(
+            degrees > 0, fiedler / np.sqrt(np.maximum(degrees, 1e-12)), 0.0
+        )
+    return {v: float(embedding[i]) for i, v in enumerate(labels)}
+
+
+def _fiedler_scores_masked(view: PeeledCSR) -> tuple[dict[Vertex, float], float]:
+    """Masked twin of :func:`fiedler_scores`: solve straight off a view.
+
+    Dense path (alive count ≤ :data:`DENSE_EIGH_LIMIT`): the Laplacian is
+    assembled from the masked surface (:func:`_masked_dense_laplacian`) —
+    no dict ``G{U}`` is materialised.  Sparse path: the view is compacted
+    into a fresh CSR base, which is array-for-array the snapshot
+    ``CSRGraph.from_graph`` would take of the materialised working graph,
+    and handed to the same iterative solver.  Either way the scores and λ₂
+    equal the dict path's bit-for-bit.
+    """
+    idx = view.alive_indices()
+    labels = [view.vertices[int(i)] for i in idx]
+    if idx.size > DENSE_EIGH_LIMIT:
+        csr = view.compact().base
+        lam2, fiedler = _lambda2_sparse_csr(csr)
+        return _embedding_scores(fiedler, csr.degree.astype(float), csr.vertices), lam2
+    lap, degrees = _masked_dense_laplacian(view, idx)
+    eigenvalues, eigenvectors = np.linalg.eigh(lap)
+    lam2 = float(max(0.0, eigenvalues[1]))
+    return _embedding_scores(eigenvectors[:, 1], degrees, labels), lam2
+
+
+def fiedler_scores(graph: SpectralGraph) -> tuple[dict[Vertex, float], float]:
     """Fiedler embedding x/sqrt(deg) and λ₂ from one eigendecomposition.
 
     The spectral sweep cut and the Cheeger certificate both derive from the
     same eigenproblem; this helper computes it once for both consumers.
     Dense and exact up to :data:`DENSE_EIGH_LIMIT` vertices, sparse
     iterative (scipy Lanczos or deflated power iteration) beyond — see the
-    module docstring for the accuracy caveat.
+    module docstring for the accuracy caveat.  ``graph`` may be a
+    :class:`~repro.graphs.peel.PeeledCSR` working view, which is solved off
+    the masked surface with no dict materialisation
+    (:func:`_fiedler_scores_masked`).
     """
+    if isinstance(graph, PeeledCSR):
+        return _fiedler_scores_masked(graph)
     if graph.num_vertices > DENSE_EIGH_LIMIT:
         lam2, fiedler, csr = _lambda2_sparse(graph)
-        degrees = csr.degree.astype(float)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            embedding = np.where(
-                degrees > 0, fiedler / np.sqrt(np.maximum(degrees, 1e-12)), 0.0
-            )
-        return {v: float(embedding[i]) for i, v in enumerate(csr.vertices)}, lam2
-    vertices, index = vertex_index(graph)
+        return _embedding_scores(fiedler, csr.degree.astype(float), csr.vertices), lam2
+    vertices, _ = vertex_index(graph)
     lap = normalized_laplacian(graph)
     eigenvalues, eigenvectors = np.linalg.eigh(lap)
     lam2 = float(max(0.0, eigenvalues[1]))
-    fiedler = eigenvectors[:, 1]
-    degrees = degree_vector(graph)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        embedding = np.where(degrees > 0, fiedler / np.sqrt(np.maximum(degrees, 1e-12)), 0.0)
-    return {v: float(embedding[index[v]]) for v in vertices}, lam2
+    return _embedding_scores(eigenvectors[:, 1], degree_vector(graph), vertices), lam2
 
 
-def sweep_cut(graph: Graph, scores: Optional[dict[Vertex, float]] = None) -> SweepCut:
+def _sweep_cut_masked(
+    view: PeeledCSR, scores: Optional[dict[Vertex, float]] = None
+) -> SweepCut:
+    """Masked twin of :func:`sweep_cut`, run straight off a working view.
+
+    The ordering rule (descending score, ``repr`` tie-break) is reproduced
+    as a ``lexsort`` over (−score, base index) — ascending alive index *is*
+    ``repr`` order — and the prefix integers come from the masked
+    :func:`repro.graphs.csr.prefix_cut_profile`, so the conductances are
+    the same exact integer ratios the dict path computes on the
+    materialised ``G{U}`` and the selected prefix is identical.
+    """
+    idx = view.alive_indices()
+    n = idx.size
+    if n < 2 or view.total_volume == 0:
+        return SweepCut(frozenset(), float("inf"), 0.0)
+    if scores is None:
+        scores, _ = _fiedler_scores_masked(view)
+    labels = [view.vertices[int(i)] for i in idx]
+    score_arr = np.array([scores.get(v, 0.0) for v in labels])
+    perm = np.lexsort((np.arange(n), -score_arr))
+    order = idx[perm]
+    prefix_volume, prefix_cut = csr_prefix_cut_profile(view, order)
+    total_volume = view.total_volume
+    vol = prefix_volume[1:n]
+    denom = np.minimum(vol, total_volume - vol)
+    conds = np.full(n - 1, np.inf)
+    ok = denom > 0
+    conds[ok] = prefix_cut[1:n][ok] / denom[ok]
+    pick = int(np.argmin(conds))
+    best_phi = float(conds[pick])
+    best_prefix = pick + 1 if best_phi < float("inf") else 0
+    subset = frozenset(labels[int(p)] for p in perm[:best_prefix])
+    balance = view.balance_of_cut(order[:best_prefix]) if subset else 0.0
+    return SweepCut(subset, best_phi, balance)
+
+
+def sweep_cut(
+    graph: SpectralGraph, scores: Optional[dict[Vertex, float]] = None
+) -> SweepCut:
     """Best prefix cut when vertices are sorted by ``scores``.
 
     With ``scores=None`` the Fiedler vector of the normalised Laplacian
     (divided by sqrt(degree)) is used, i.e. the classical spectral sweep.
     This is the standard constructive side of Cheeger's inequality, and it is
     also the primitive the Nibble family applies to its truncated-walk vector.
+    A :class:`~repro.graphs.peel.PeeledCSR` ``graph`` sweeps the masked
+    surface directly (:func:`_sweep_cut_masked`), cut-identical to the dict
+    path on the materialised working graph.
     """
+    if isinstance(graph, PeeledCSR):
+        return _sweep_cut_masked(graph, scores)
     vertices, _ = vertex_index(graph)
     n = len(vertices)
     if n < 2 or graph.total_volume() == 0:
@@ -302,7 +479,9 @@ def sweep_cut_conductance(graph: Graph) -> float:
 
 
 def certify_conductance(
-    graph: Graph, phi: float
+    graph: SpectralGraph,
+    phi: float,
+    precomputed: Optional[SpectralCertificate] = None,
 ) -> tuple[bool, float, Optional[frozenset]]:
     """Certify Φ(G) >= phi; return ``(certified, estimate, witness)``.
 
@@ -318,20 +497,226 @@ def certify_conductance(
     on Φ otherwise.  ``witness`` is the lowest-conductance cut the check
     discovered — ``None`` when certified — so a failed certificate hands the
     caller a deterministic splitter without recomputing the spectra.
+
+    ``graph`` may be a :class:`~repro.graphs.peel.PeeledCSR` working view,
+    which certifies straight off the masked surface — no dict ``G{U}`` is
+    materialised (except the ≤ :data:`~repro.graphs.metrics
+    .EXACT_ENUMERATION_LIMIT`-vertex enumeration fallback, where the tiny
+    dict graph is rebuilt for the exact oracle).  An *exact*
+    ``precomputed`` certificate replaces the eigensolve — it is the same
+    machine-precision solve certification would perform, typically handed
+    down from the fast path's pre-check so each component is solved once —
+    while iterative certificates are ignored and the solve is re-run: the
+    authoritative check never rests on a truncated iteration.
     """
     from .metrics import EXACT_ENUMERATION_LIMIT, graph_conductance_exact
 
-    if graph.num_vertices < 2 or graph.total_volume() == 0:
+    is_view = isinstance(graph, PeeledCSR)
+    num_vertices = graph.num_vertices
+    total_volume = graph.total_volume if is_view else graph.total_volume()
+    if num_vertices < 2 or total_volume == 0:
         return True, float("inf"), None  # no cut exists at all
-    scores, lam2 = fiedler_scores(graph)
+    if precomputed is not None and precomputed.exact:
+        scores, lam2 = precomputed.scores, precomputed.lam2
+    else:
+        scores, lam2 = fiedler_scores(graph)
     if lam2 / 2.0 >= phi:
         return True, sweep_cut(graph, scores).conductance, None
-    if graph.num_vertices <= EXACT_ENUMERATION_LIMIT:
-        exact = graph_conductance_exact(graph)
+    if num_vertices <= EXACT_ENUMERATION_LIMIT:
+        exact = graph_conductance_exact(graph.to_graph() if is_view else graph)
         certified = exact.conductance >= phi
         return certified, exact.conductance, None if certified else exact.subset
     cut = sweep_cut(graph, scores)
     return False, cut.conductance, cut.subset
+
+
+def conductance_lower_bound(
+    graph: SpectralGraph, phi: Optional[float] = None
+) -> tuple[float, Optional[SpectralCertificate]]:
+    """A cheap Cheeger lower bound λ₂/2 on Φ(G), with a reusable solve.
+
+    The pre-check primitive of the certification fast path: when the
+    returned bound clears the target φ (strictly, with
+    :data:`PRECHECK_MARGIN` slack), no φ-sparse cut exists, so a
+    ParallelNibble batch launched against the graph is guaranteed wasted
+    work and :func:`repro.decomposition.sparse_cut
+    .nearly_most_balanced_sparse_cut` skips it.
+
+    Graphs — dict or :class:`~repro.graphs.peel.PeeledCSR` view — of at
+    most :data:`PRECHECK_DENSE_LIMIT` vertices are solved densely (exact;
+    the returned :class:`SpectralCertificate` is reusable by
+    :func:`certify_conductance`, so the pre-check and the authoritative
+    final check share one eigensolve).  Larger graphs go in two stages,
+    both on the *masked* surface — no dict materialisation, no dense eigh:
+
+    1. a few deflated power-iteration blocks
+       (:func:`_iterative_cheeger_bound`) *screen* the graph — on
+       cut-bearing working graphs (the common mid-loop case) the Rayleigh
+       quotient collapses below 2φ within a block or two and the
+       pre-check bails for the price of a handful of matvecs;
+    2. only when the screen believes φ is cleared does the *converged*
+       Lanczos solve (:func:`_lambda2_eigsh`) run, and its λ₂ — accurate
+       to solver tolerance, not a truncated iterate — is what the
+       returned bound reports.  A screen estimate alone is never allowed
+       to skip work: an unconverged iterate mixed with higher eigenpairs
+       can overestimate λ₂ severely, and a skip must stand on the same
+       quality of solve certification itself uses.  Without scipy the
+       confirmation is unavailable and the bound is clamped below φ (no
+       skip) rather than trusted.
+
+    The iterative path always runs on a *compacted* view, so the bound —
+    and with it the skip decision — is a pure function of the working
+    graph's structure, identical across the dict, CSR, and peeled engines.
+    Edgeless or single-vertex graphs admit no cut at all and report an
+    infinite bound.
+    """
+    is_view = isinstance(graph, PeeledCSR)
+    num_vertices = graph.num_vertices
+    total_volume = graph.total_volume if is_view else graph.total_volume()
+    if num_vertices < 2 or total_volume == 0:
+        return float("inf"), None
+    if num_vertices <= PRECHECK_DENSE_LIMIT:
+        scores, lam2 = fiedler_scores(graph)
+        return lam2 / 2.0, SpectralCertificate(lam2=lam2, scores=scores, exact=True)
+    view = graph.compact() if is_view else PeeledCSR.from_graph(graph)
+    screen = _iterative_cheeger_bound(view, phi)
+    if phi is not None and screen <= phi + PRECHECK_MARGIN:
+        return min(screen, phi), None  # the screen already rules the skip out
+    confirmed = _lambda2_eigsh(view.base)
+    if confirmed is None:
+        # No converged solve available: report a bound that cannot fire.
+        return 0.0 if phi is None else min(screen, phi), None
+    return confirmed[0] / 2.0, None
+
+
+def batched_component_certificates(
+    view: PeeledCSR, pieces: list
+) -> list[Optional[SpectralCertificate]]:
+    """Exact spectral certificates for sibling components, eigh-batched.
+
+    ``pieces`` are the connected components of ``view`` (label sets, as
+    :meth:`~repro.graphs.peel.PeeledCSR.connected_components` returns
+    them).  All components of the same size up to
+    :data:`PRECHECK_DENSE_LIMIT` vertices are solved in stacked
+    ``numpy.linalg.eigh`` calls — one LAPACK dispatch per size class
+    instead of one per component, which is where a many-component
+    decomposition (e.g. ring-of-cliques) spends its per-leaf solve
+    overhead.  The batched gufunc applies the identical kernel per slice,
+    so each certificate is bit-for-bit the one a solo
+    :func:`conductance_lower_bound` dense solve would produce; oversized
+    or singleton pieces get ``None`` and fall back to their own pre-check.
+    """
+    hints: list[Optional[SpectralCertificate]] = [None] * len(pieces)
+    groups: dict[int, list[int]] = {}
+    for position, piece in enumerate(pieces):
+        size = len(piece)
+        if 2 <= size <= PRECHECK_DENSE_LIMIT:
+            groups.setdefault(size, []).append(position)
+    index = view.index
+    labels = view.vertices
+    for size, members in groups.items():
+        # Chunk so one stack stays comfortably in memory even for many
+        # mid-sized components (k · size² doubles per chunk).
+        chunk = max(1, 4_000_000 // (size * size))
+        for begin in range(0, len(members), chunk):
+            part = members[begin : begin + chunk]
+            laps = np.empty((len(part), size, size))
+            piece_degrees = []
+            piece_labels = []
+            for slot, position in enumerate(part):
+                idx = np.fromiter(
+                    sorted(index[v] for v in pieces[position]),
+                    dtype=np.int64,
+                    count=size,
+                )
+                lap, degrees = _masked_dense_laplacian(view, idx)
+                laps[slot] = lap
+                piece_degrees.append(degrees)
+                piece_labels.append([labels[int(i)] for i in idx])
+            eigenvalues, eigenvectors = np.linalg.eigh(laps)
+            for slot, position in enumerate(part):
+                lam2 = float(max(0.0, eigenvalues[slot, 1]))
+                scores = _embedding_scores(
+                    eigenvectors[slot][:, 1], piece_degrees[slot], piece_labels[slot]
+                )
+                hints[position] = SpectralCertificate(
+                    lam2=lam2, scores=scores, exact=True
+                )
+    return hints
+
+
+#: Iteration schedule of the pre-check's masked power iteration: up to
+#: ``PRECHECK_MAX_BLOCKS`` blocks of ``PRECHECK_BLOCK_ITERATIONS`` matvecs,
+#: with a convergence check (and the two early exits) after each block.
+PRECHECK_BLOCK_ITERATIONS = 32
+PRECHECK_MAX_BLOCKS = 16
+
+
+def _iterative_cheeger_bound(view: PeeledCSR, phi: Optional[float]) -> float:
+    """Cheap λ₂/2 *screen* by deflated power iteration on a masked view.
+
+    Iterates ``x ← (2I − L)x`` against the masked Laplacian (the matvec
+    gathers only alive rows, so a peeled working view is consumed directly)
+    while re-orthogonalising against the known kernel D^{1/2}·1.  After
+    each block the Rayleigh quotient θ and residual r = ‖Lx − θx‖ are
+    measured and ``max(0, θ − 2r)/2`` is the candidate screen value.
+
+    This is a screen, **not** a sound lower bound: the residual only
+    localises *some* eigenvalue near θ — an unconverged iterate still
+    mixed with higher eigenpairs can sit with small residual near λ₃ and
+    overestimate λ₂ severely.  Its one-sided guarantee runs the other way:
+    θ ≥ λ₂ for any deflated vector, so once θ/2 ≤ φ the graph *provably*
+    cannot clear φ and the caller bails for a handful of matvecs — the
+    common cut-bearing case.  A screen value that clears φ only earns the
+    graph a converged :func:`_lambda2_eigsh` solve
+    (:func:`conductance_lower_bound`), whose λ₂ is what any batch skip
+    actually stands on.
+    """
+    n = view.n
+    alive = view.alive
+    rows = view.alive_indices()
+    deg = np.where(alive, view.degree, 0).astype(float)
+    inv_sqrt = np.where(deg > 0, 1.0 / np.sqrt(np.maximum(deg, 1e-12)), 0.0)
+    loops_share = np.where(deg > 0, view.loops / np.maximum(deg, 1e-12), 0.0)
+    row_id, flat = view.flat_adjacency(rows)
+
+    def laplacian_matvec(x: np.ndarray) -> np.ndarray:
+        y = inv_sqrt * x
+        ay = np.zeros(n)
+        if flat.size:
+            ay[rows] = np.bincount(row_id, weights=y[flat], minlength=rows.size)
+        return x - inv_sqrt * ay - loops_share * x
+
+    kernel = np.sqrt(np.maximum(deg, 0.0))
+    norm = np.linalg.norm(kernel)
+    if norm > 0:
+        kernel /= norm
+    x = np.random.default_rng(0).standard_normal(n)
+    x[~alive] = 0.0
+    best = 0.0
+    for _ in range(PRECHECK_MAX_BLOCKS):
+        for _ in range(PRECHECK_BLOCK_ITERATIONS):
+            x -= kernel * (kernel @ x)
+            x = 2.0 * x - laplacian_matvec(x)
+            norm = np.linalg.norm(x)
+            if norm == 0:
+                return best
+            x /= norm
+        x -= kernel * (kernel @ x)
+        norm = np.linalg.norm(x)
+        if norm == 0:
+            return best
+        x /= norm
+        lx = laplacian_matvec(x)
+        theta = float(x @ lx)
+        residual = float(np.linalg.norm(lx - theta * x))
+        best = max(best, max(0.0, theta - 2.0 * residual) / 2.0)
+        if phi is not None:
+            if theta / 2.0 <= phi:
+                return best  # λ₂/2 ≤ θ/2 ≤ φ: the bound can never clear φ
+            if best > phi + PRECHECK_MARGIN:
+                return best  # screen fired: hand over to the converged solve
+    return best
 
 
 def is_expander(graph: Graph, phi: float) -> bool:

@@ -32,7 +32,7 @@ canonical accumulation order — so ``backend`` never changes an output.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Mapping, Optional, Sequence
+from typing import Hashable, Iterable, Mapping, Optional
 
 import numpy as np
 
@@ -42,9 +42,15 @@ from ..graphs.csr import CSRGraph, resolve_backend
 from ..graphs.graph import Graph, Vertex
 from ..graphs.peel import PeeledCSR
 from ..utils.rounds import RoundReport
-from ..walks.lazy_walk import truncated_walk_sequence
+from ..walks.lazy_walk import truncated_walk_iter
 from .parameters import NibbleParameters
-from .sweep import SweepState, build_sweep, candidate_indices
+from .sweep import (
+    ADAPTIVE_STABLE_STEPS,
+    SweepState,
+    WalkBudgetTracker,
+    build_sweep,
+    candidate_indices,
+)
 
 
 @dataclass(frozen=True)
@@ -101,12 +107,13 @@ def conditions_hold(
 
 def scan_walk_sequence(
     graph: Graph,
-    sequence: Sequence[Mapping[Vertex, float]],
+    sequence: Iterable[Mapping[Vertex, float]],
     scale: int,
     params: NibbleParameters,
     start: Hashable,
     approximate: bool = False,
     return_first: bool = False,
+    stable_steps: Optional[int] = None,
 ) -> Optional[NibbleCut]:
     """Sweep every time step of ``sequence`` and return a certified cut.
 
@@ -121,9 +128,19 @@ def scan_walk_sequence(
     but early time steps certify ragged cuts whose boundaries inflate the
     decomposition's removed-edge budget; scanning the whole sequence costs no
     extra walk steps and returns the cleaned-up cut the walk converges to.
+
+    ``sequence`` may be a lazy generator
+    (:func:`repro.walks.lazy_walk.truncated_walk_iter`): the scan consumes
+    one vector at a time and every break skips the remaining walk steps.
+    With ``stable_steps`` set, the adaptive walk budget
+    (:class:`repro.nibble.sweep.WalkBudgetTracker`) additionally stops the
+    scan once the sweep signature — support ordering plus certified prefix
+    set — has repeated that many consecutive steps; the rule is shared
+    bit-for-bit with the CSR twin, so the backends stop at the same step.
     """
     best: Optional[NibbleCut] = None
     previous: Optional[Mapping[Vertex, float]] = None
+    tracker = WalkBudgetTracker(stable_steps) if stable_steps is not None else None
     for t, mass in enumerate(sequence):
         if t == 0:
             continue  # p̃_0 = χ_v is never certified (its prefix is trivial)
@@ -137,14 +154,18 @@ def scan_walk_sequence(
         previous = mass
         state = build_sweep(graph, mass)
         if state.jmax == 0:
+            # All mass sits on zero-degree vertices; the next step repeats
+            # this one bit-for-bit and the fixpoint rule above breaks.
             continue
         if approximate:
             indices = candidate_indices(state, params.phi)
         else:
             indices = range(1, state.jmax + 1)
+        certified_js: list[int] = []
         for j in indices:
             if not conditions_hold(state, j, scale, params, relaxed=approximate):
                 continue
+            certified_js.append(j)
             cut = NibbleCut(
                 vertices=frozenset(state.prefix(j)),
                 conductance=state.conductance(j),
@@ -162,17 +183,37 @@ def scan_walk_sequence(
                 -best.volume,
             ):
                 best = cut
+        if (
+            tracker is not None
+            and tracker.stabilized(
+                (
+                    state.order,
+                    certified_js,
+                    np.asarray(
+                        [state.rho[v] for v in state.order], dtype=np.float32
+                    ).tobytes(),
+                )
+            )
+            and state.prefix_cut[state.jmax] == 0
+        ):
+            # Adaptive budget: the sweep signature — ordering, certified
+            # set, and the ρ̃ values themselves at float32 resolution — has
+            # been stable long enough and the support is closed
+            # (|∂(support)| = 0), so no later step can reach a new vertex
+            # and the walk has converged past the point of changing a tie.
+            break
     return best
 
 
 def scan_walk_sequence_csr(
     csr: CSRGraph | PeeledCSR,
-    sequence: Sequence[csr_backend.SparseMass],
+    sequence: Iterable[csr_backend.SparseMass],
     scale: int,
     params: NibbleParameters,
     start: Hashable,
     approximate: bool = False,
     return_first: bool = False,
+    stable_steps: Optional[int] = None,
 ) -> Optional[NibbleCut]:
     """Vectorized twin of :func:`scan_walk_sequence` for the CSR backend.
 
@@ -186,6 +227,13 @@ def scan_walk_sequence_csr(
     :class:`~repro.graphs.peel.PeeledCSR` view: the kernels only reach the
     graph through the masked surface, so the scan then certifies prefixes
     of the peeled working graph.
+
+    ``sequence`` may be a lazy generator
+    (:func:`repro.graphs.csr.truncated_walk_iter`) and ``stable_steps``
+    enables the adaptive walk budget, both exactly as in
+    :func:`scan_walk_sequence` — the stop signature (support ordering +
+    certified prefix indices) is the same rule in index space, so the two
+    backends stop at the same time step for bit-identical walks.
     """
     best: Optional[tuple] = None  # ((Φ, -Vol), t, j, cut_size, prefix indices)
     max_fraction = (
@@ -194,6 +242,7 @@ def scan_walk_sequence_csr(
         else params.max_cut_volume_fraction
     )
     previous: Optional[csr_backend.SparseMass] = None
+    tracker = WalkBudgetTracker(stable_steps) if stable_steps is not None else None
     for t, mass in enumerate(sequence):
         if t == 0:
             continue  # p̃_0 = χ_v is never certified (its prefix is trivial)
@@ -213,6 +262,8 @@ def scan_walk_sequence_csr(
         previous = mass
         state = csr_backend.build_sweep(csr, mass)
         if state.jmax == 0:
+            # All mass sits on zero-degree vertices; the next step repeats
+            # this one bit-for-bit and the fixpoint rule above breaks.
             continue
         if approximate:
             j_values = np.asarray(
@@ -236,20 +287,34 @@ def scan_walk_sequence_csr(
             & (params.min_cut_volume(scale) <= vol)  # (C.3) / (C.3*)
             & (vol <= max_fraction * state.total_volume)
         )
-        if not certified.any():
-            continue
         hit = np.flatnonzero(certified)
-        if return_first:
-            pick = hit[0]
-        else:
-            # same tie rule as the dict scan: min (Φ, -Vol), then smallest j
-            pick = hit[np.lexsort((j_values[hit], -vol[hit], cond[hit]))[0]]
-        key = (float(cond[pick]), -int(vol[pick]))
-        if return_first or best is None or key < best[0]:
-            j = int(j_values[pick])
-            best = (key, t, j, int(cut[pick]), state.prefix(j).copy())
+        if hit.size:
             if return_first:
-                break
+                pick = hit[0]
+            else:
+                # same tie rule as the dict scan: min (Φ, -Vol), then smallest j
+                pick = hit[np.lexsort((j_values[hit], -vol[hit], cond[hit]))[0]]
+            key = (float(cond[pick]), -int(vol[pick]))
+            if return_first or best is None or key < best[0]:
+                j = int(j_values[pick])
+                best = (key, t, j, int(cut[pick]), state.prefix(j).copy())
+                if return_first:
+                    break
+        if (
+            tracker is not None
+            and tracker.stabilized(
+                (
+                    state.order.tobytes(),
+                    j_values[hit].tobytes(),
+                    state.rho.astype(np.float32).tobytes(),
+                )
+            )
+            and state.prefix_cut[state.jmax] == 0
+        ):
+            # Adaptive budget: stable signature (ordering + certified set +
+            # float32 ρ̃ values) + closed support — the same stop rule, in
+            # index space, as the dict scan.
+            break
     if best is None:
         return None
     (conductance, neg_volume), t, j, cut_size, prefix = best
@@ -286,6 +351,7 @@ def _run_nibble(
     approximate: bool,
     backend: str,
     csr: Optional[CSRGraph | PeeledCSR],
+    adaptive: bool = True,
 ) -> Optional[NibbleCut]:
     """Shared walk-then-scan body of Nibble and ApproximateNibble.
 
@@ -293,11 +359,18 @@ def _run_nibble(
     case the masked CSR engine runs directly on it (``backend`` is ignored)
     and the cut is measured in the peeled working graph — exactly what the
     dict path measures on the materialised ``G{U}``.
+
+    The walk is generated lazily and scanned step by step; with
+    ``adaptive=True`` (default) the scan stops the walk early under the
+    shared :class:`~repro.nibble.sweep.WalkBudgetTracker` rule once the
+    sweep has stabilised, skipping the remaining walk steps on both
+    backends identically.
     """
     if not 1 <= scale <= params.ell:
         raise ValueError(f"scale b={scale} outside 1..ell={params.ell}")
     label = "approximate_nibble" if approximate else "nibble"
     _charge_rounds(report, f"{label}(b={scale})", params)
+    stable = ADAPTIVE_STABLE_STEPS if adaptive else None
     if isinstance(graph, PeeledCSR):
         # A peeled view always runs the masked CSR engine: there is no dict
         # graph to fall back to, and the view already *is* the snapshot.
@@ -318,19 +391,31 @@ def _run_nibble(
             # The guarded masked variant: a peeled view's base index still
             # contains dead vertices, and a walk seeded at one would leak
             # mass through the base adjacency into nonsense cuts.
-            sequence = peel_backend.truncated_walk_sequence(
+            sequence = peel_backend.truncated_walk_iter(
                 csr, csr.index[start], params.t0, params.epsilon_b(scale)
             )
         else:
-            sequence = csr_backend.truncated_walk_sequence(
+            sequence = csr_backend.truncated_walk_iter(
                 csr, csr.index[start], params.t0, params.epsilon_b(scale)
             )
         return scan_walk_sequence_csr(
-            csr, sequence, scale, params, start, approximate=approximate
+            csr,
+            sequence,
+            scale,
+            params,
+            start,
+            approximate=approximate,
+            stable_steps=stable,
         )
-    sequence = truncated_walk_sequence(graph, start, params.t0, params.epsilon_b(scale))
+    sequence = truncated_walk_iter(graph, start, params.t0, params.epsilon_b(scale))
     return scan_walk_sequence(
-        graph, sequence, scale, params, start, approximate=approximate
+        graph,
+        sequence,
+        scale,
+        params,
+        start,
+        approximate=approximate,
+        stable_steps=stable,
     )
 
 
@@ -342,6 +427,7 @@ def nibble(
     report: Optional[RoundReport] = None,
     backend: str = "auto",
     csr: Optional[CSRGraph] = None,
+    adaptive: bool = True,
 ) -> Optional[NibbleCut]:
     """Nibble(G, v, φ, b): exhaustive sweep certification (paper Appendix A).
 
@@ -358,9 +444,20 @@ def nibble(
     conversion across calls on the same graph.  The snapshot is honored
     only when the resolved backend is ``"csr"`` and must describe the
     current state of ``graph`` (rebuild it after any mutation).
+
+    ``adaptive`` toggles the adaptive walk budget (on by default; the
+    fast-path parity suite pins that toggling it never changes a cut).
     """
     return _run_nibble(
-        graph, start, scale, params, report, approximate=False, backend=backend, csr=csr
+        graph,
+        start,
+        scale,
+        params,
+        report,
+        approximate=False,
+        backend=backend,
+        csr=csr,
+        adaptive=adaptive,
     )
 
 
@@ -372,14 +469,23 @@ def approximate_nibble(
     report: Optional[RoundReport] = None,
     backend: str = "auto",
     csr: Optional[CSRGraph] = None,
+    adaptive: bool = True,
 ) -> Optional[NibbleCut]:
     """ApproximateNibble: candidate prefixes only, relaxed volume bound (C.3*).
 
     The O(φ⁻¹ log Vol) candidate prefixes are the only ones a CONGEST node
     set can afford to evaluate; Lemma 4 of the paper shows the relaxation
-    preserves the output guarantees up to constants.  ``backend`` and
-    ``csr`` are as in :func:`nibble`.
+    preserves the output guarantees up to constants.  ``backend``, ``csr``,
+    and ``adaptive`` are as in :func:`nibble`.
     """
     return _run_nibble(
-        graph, start, scale, params, report, approximate=True, backend=backend, csr=csr
+        graph,
+        start,
+        scale,
+        params,
+        report,
+        approximate=True,
+        backend=backend,
+        csr=csr,
+        adaptive=adaptive,
     )

@@ -41,8 +41,11 @@ headline instead, which is what makes the paper's Õ-comparison visible in
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -62,6 +65,140 @@ from .oriented import forward_wedge_count, oriented_triangles
 #: and enumerate directly — below it one oriented pass is cheaper than even a
 #: single Nibble batch, exactly like the recursion base case of Theorem 2.
 BASE_CASE_EDGE_LIMIT = 64
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """A canonical structural digest of a graph (vertices, loops, edges).
+
+    Two graphs hash equal iff they have the same ``repr``-identified
+    vertices with the same self-loop multiplicities and the same proper
+    edge set — exactly the notion of identity under which every algorithm
+    in this repository is deterministic for a fixed seed.  O(Vol log Vol)
+    to compute, which is orders below one decomposition level; the
+    :class:`DecompositionCache` keys on it.
+    """
+    digest = hashlib.sha256()
+    for v in sorted(graph.vertices(), key=repr):
+        digest.update(repr(v).encode())
+        digest.update(b"#")
+        digest.update(str(graph.self_loops(v)).encode())
+        digest.update(b";")
+        for u in sorted(graph.neighbors(v), key=repr):
+            digest.update(repr(u).encode())
+            digest.update(b",")
+        digest.update(b"|")
+    return digest.hexdigest()
+
+
+def _rng_state_key(rng: np.random.Generator) -> str:
+    """A stable serialisation of a generator's exact state (cache key part)."""
+    return json.dumps(rng.bit_generator.state, sort_keys=True, default=str)
+
+
+class DecompositionCache:
+    """Memoises per-level decompositions and CSR snapshots across queries.
+
+    ROADMAP's leftover Theorem 2 scale item: the triangle workload
+    re-decomposes from scratch at every recursion level and for every
+    repeated query.  This cache closes both gaps:
+
+    * :meth:`decomposition` memoises ``expander_decomposition`` results
+      keyed by the working graph's structure (:func:`graph_fingerprint`),
+      every output-relevant parameter, *and the exact RNG state* — so a hit
+      is guaranteed to be the decomposition the miss path would have
+      recomputed.  On a hit the stored post-run RNG state is restored into
+      the caller's generator, leaving deeper recursion levels on the exact
+      stream a cold run would see: cached and uncached queries are
+      bit-identical end to end, levels deep.
+    * :meth:`snapshot` memoises the per-level ``CSRGraph`` (whose
+      ``directed_edge_keys`` array is itself memoised on the snapshot), so
+      the cluster stage of a repeated query re-uses the level's adjacency
+      and edge-membership arrays instead of rebuilding them.
+
+    Entries are LRU-evicted beyond ``max_entries``.  ``hits`` / ``misses``
+    (and the snapshot twins) expose effectiveness to benchmarks; the
+    repeated-query bench asserts cached and cold triangle sets are equal
+    and reports the speedup.
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        self._decompositions: OrderedDict[tuple, tuple[DecompositionResult, dict]] = (
+            OrderedDict()
+        )
+        self._snapshots: OrderedDict[str, CSRGraph] = OrderedDict()
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.snapshot_hits = 0
+        self.snapshot_misses = 0
+
+    def decomposition(
+        self,
+        work: Graph,
+        *,
+        epsilon: float,
+        phi: float,
+        mode: ParameterMode,
+        backend: str,
+        fast_path: bool,
+        sparse_cut_kwargs: Optional[dict],
+        rng: np.random.Generator,
+    ) -> DecompositionResult:
+        """The expander decomposition of ``work``, cached.
+
+        A miss runs :func:`repro.decomposition.expander_decomposition`
+        (consuming ``rng`` exactly as an uncached call would) and stores the
+        result with the generator's post-run state; a hit restores that
+        state into ``rng`` and returns the stored result.  Callers must
+        treat the result as immutable — it is shared across queries.
+        """
+        key = (
+            graph_fingerprint(work),
+            float(epsilon),
+            float(phi),
+            mode.value,
+            backend,
+            bool(fast_path),
+            repr(sorted((sparse_cut_kwargs or {}).items())),
+            _rng_state_key(rng),
+        )
+        entry = self._decompositions.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._decompositions.move_to_end(key)
+            result, state_after = entry
+            rng.bit_generator.state = state_after
+            return result
+        self.misses += 1
+        result = expander_decomposition(
+            work,
+            epsilon=epsilon,
+            phi=phi,
+            mode=mode,
+            seed=rng,
+            backend=backend,
+            fast_path=fast_path,
+            sparse_cut_kwargs=sparse_cut_kwargs,
+        )
+        self._decompositions[key] = (result, rng.bit_generator.state)
+        while len(self._decompositions) > self.max_entries:
+            self._decompositions.popitem(last=False)
+        return result
+
+    def snapshot(self, work: Graph) -> CSRGraph:
+        """The level's ``CSRGraph`` snapshot of ``work``, cached by structure."""
+        key = graph_fingerprint(work)
+        snapshot = self._snapshots.get(key)
+        if snapshot is not None:
+            self.snapshot_hits += 1
+            self._snapshots.move_to_end(key)
+            return snapshot
+        self.snapshot_misses += 1
+        snapshot = CSRGraph.from_graph(work)
+        self._snapshots[key] = snapshot
+        while len(self._snapshots) > self.max_entries:
+            self._snapshots.popitem(last=False)
+        return snapshot
 
 
 def _charge_cluster(report: RoundReport, volume: int, wedges: int) -> None:
@@ -225,6 +362,8 @@ def decomposition_triangle_enumeration(
     backend: str = "auto",
     verify: bool = True,
     sparse_cut_kwargs: Optional[dict] = None,
+    fast_path: bool = True,
+    cache: Optional[DecompositionCache] = None,
 ) -> TriangleWorkloadResult:
     """Enumerate every triangle of ``graph`` via Theorem 2's recursion.
 
@@ -241,7 +380,17 @@ def decomposition_triangle_enumeration(
     oriented enumerator and a mismatch raises — the workload never returns
     a silently wrong answer.  ``backend`` selects dict/CSR engines per
     level exactly as in the decomposition itself; all choices return the
-    same triangle set.
+    same triangle set.  ``fast_path`` forwards the certification fast path
+    to every level's decomposition (output-neutral; see
+    :func:`repro.decomposition.expander.expander_decomposition`).
+
+    A :class:`DecompositionCache` passed as ``cache`` is consulted at every
+    recursion level for both the level's decomposition and its CSR
+    snapshot, so repeated queries — the same graph asked again, or distinct
+    queries whose recursion reaches a previously-seen removed-edge graph —
+    skip straight to the cluster stage.  Hits restore the RNG stream to the
+    post-decomposition state, so cached and uncached runs return
+    bit-identical triangle sets and level records.
     """
     rng = ensure_rng(seed)
     report = RoundReport("triangle_enumeration")
@@ -286,15 +435,28 @@ def decomposition_triangle_enumeration(
             break
 
         begin = time.perf_counter()
-        decomposition = expander_decomposition(
-            work,
-            epsilon=epsilon,
-            phi=phi,
-            mode=mode,
-            seed=rng,
-            backend=backend,
-            sparse_cut_kwargs=sparse_cut_kwargs,
-        )
+        if cache is not None:
+            decomposition = cache.decomposition(
+                work,
+                epsilon=epsilon,
+                phi=phi,
+                mode=mode,
+                backend=backend,
+                fast_path=fast_path,
+                sparse_cut_kwargs=sparse_cut_kwargs,
+                rng=rng,
+            )
+        else:
+            decomposition = expander_decomposition(
+                work,
+                epsilon=epsilon,
+                phi=phi,
+                mode=mode,
+                seed=rng,
+                backend=backend,
+                fast_path=fast_path,
+                sparse_cut_kwargs=sparse_cut_kwargs,
+            )
         decompose_seconds = time.perf_counter() - begin
         level_report.add_child(decomposition.report)
 
@@ -307,7 +469,7 @@ def decomposition_triangle_enumeration(
 
         begin = time.perf_counter()
         found_here = _enumerate_clusters(
-            work, decomposition, backend, level_report
+            work, decomposition, backend, level_report, cache=cache
         )
         triangles.update(found_here)
         found_total += len(found_here)
@@ -358,19 +520,22 @@ def _enumerate_clusters(
     decomposition: DecompositionResult,
     backend: str,
     level_report: RoundReport,
+    cache: Optional[DecompositionCache] = None,
 ) -> set:
     """The cluster stage of one level, on the engine ``backend`` resolves to.
 
     On the CSR engine the level snapshots ``work`` once; every cluster is a
     masked view of that snapshot and closes its wedges against the shared
-    sorted edge-key array.  Cluster reports are combined with
-    :func:`parallel_rounds` — in CONGEST the clusters are vertex-disjoint
-    and run simultaneously.
+    sorted edge-key array (memoised on the snapshot, so it is built once
+    per level rather than consulted-and-rebuilt per cluster, and — through
+    the :class:`DecompositionCache` — once per *graph* across repeated
+    queries).  Cluster reports are combined with :func:`parallel_rounds` —
+    in CONGEST the clusters are vertex-disjoint and run simultaneously.
     """
     found: set = set()
     cluster_reports: list[RoundReport] = []
     if resolve_backend(work, backend) == "csr":
-        base = CSRGraph.from_graph(work)
+        base = cache.snapshot(work) if cache is not None else CSRGraph.from_graph(work)
         edge_keys = base.directed_edge_keys()
         for i, component in enumerate(decomposition.components):
             idx = np.asarray(

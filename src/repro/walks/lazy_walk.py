@@ -143,6 +143,28 @@ def truncated_walk_sequence(
     return sequence
 
 
+def truncated_walk_iter(graph: Graph, start: Vertex, steps: int, epsilon: float):
+    """Lazily yield p̃_0, ..., p̃_steps, one vector per consumer request.
+
+    The generator twin of :func:`truncated_walk_sequence`: identical vectors
+    in identical order, but a step is computed only when the consumer asks
+    for it, so certification scans that stop early (zero mass, IEEE
+    fixpoint, or the adaptive walk budget of
+    :class:`repro.nibble.sweep.WalkBudgetTracker`) skip the remaining walk
+    steps entirely.  No terminal padding is produced — time-indexed
+    consumers (the CONGEST parity tests) keep using the list variant.
+    """
+    if start not in graph:
+        raise KeyError(f"start vertex {start!r} not in graph")
+    current = point_mass(start)
+    yield current
+    for _ in range(steps):
+        current = truncated_walk_step(graph, current, epsilon)
+        yield current
+        if not current:
+            return
+
+
 def exact_walk_sequence(graph: Graph, start: Vertex, steps: int) -> list[MassVector]:
     """The untruncated sequence p_0, ..., p_steps (reference / tests)."""
     sequence = [point_mass(start)]

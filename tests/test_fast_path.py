@@ -1,0 +1,339 @@
+"""Parity suite for the certification fast path (ISSUE 5).
+
+The fast path — spectral pre-checks that skip provably-failing
+ParallelNibble batches, batched sibling-component eigensolves, adaptive
+walk budgets, and the triangle workload's decomposition cache — is a pure
+performance layer: every toggle must be output-neutral, bit for bit, on
+every engine.  These tests pin that contract the same way the peel suite
+pins engine parity:
+
+* decomposition components and removed-edge multisets identical across
+  ``dict`` / ``csr`` / ``auto`` with the fast path on and off;
+* harvested sparse cuts (cut set, conductance, batch count) identical
+  with the fast path on and off;
+* Nibble/ApproximateNibble cuts identical with the adaptive walk budget
+  on and off;
+* triangle sets and level records identical with and without a
+  :class:`~repro.triangles.workload.DecompositionCache`, cold and warm;
+* the spectral pre-check itself: a sound lower bound (never above the
+  exact conductance), certificates that reproduce ``certify_conductance``
+  exactly, and batch-skipping observable where it must fire.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.decomposition import (
+    expander_decomposition,
+    nearly_most_balanced_sparse_cut,
+)
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import (
+    barbell_expanders,
+    erdos_renyi_graph,
+    planted_partition_graph,
+    power_law_graph,
+    ring_of_cliques,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.metrics import graph_conductance_exact
+from repro.graphs.peel import PeeledCSR
+from repro.graphs.spectral import (
+    PRECHECK_MARGIN,
+    batched_component_certificates,
+    certify_conductance,
+    conductance_lower_bound,
+)
+from repro.nibble.nibble import approximate_nibble, nibble
+from repro.nibble.parameters import NibbleParameters
+from repro.triangles import DecompositionCache, decomposition_triangle_enumeration
+from repro.utils.rng import ensure_rng, sample_by_degree
+
+
+def family_graphs():
+    """The benchmark families the parity contract is pinned on."""
+    return [
+        ("ring_of_cliques", ring_of_cliques(6, 8)),
+        ("barbell", barbell_expanders(32, seed=7)),
+        ("planted_partition", planted_partition_graph(4, 12, 0.7, 0.02, seed=7)),
+        ("power_law", power_law_graph(80, seed=7)),
+    ]
+
+
+def decomposition_signature(result):
+    """Everything output-relevant about one decomposition."""
+    return (
+        {c.vertices for c in result.components},
+        Counter(frozenset(e) for e in result.cut_edges),
+        sorted(
+            (tuple(sorted(map(repr, c.vertices))), c.certified, c.conductance_estimate)
+            for c in result.components
+        ),
+    )
+
+
+class TestDecompositionParity:
+    def test_fast_path_on_off_identical_across_engines(self):
+        # "auto" is exercised by the other parity tests; the dict engine is
+        # the true cross-engine check (csr ≡ auto at these sizes).
+        for name, g in family_graphs():
+            reference = None
+            for fast_path in (True, False):
+                for backend in ("dict", "auto"):
+                    result = expander_decomposition(
+                        g, 0.2, 0.1, seed=7, backend=backend, fast_path=fast_path
+                    )
+                    signature = decomposition_signature(result)
+                    if reference is None:
+                        reference = signature
+                    assert signature == reference, (name, fast_path, backend)
+
+    def test_fast_path_identical_on_larger_ring(self):
+        g = ring_of_cliques(20, 16)
+        kwargs = dict(
+            seed=11,
+            sparse_cut_kwargs={"num_instances": 6, "params_overrides": {"max_t0": 150}},
+        )
+        on = expander_decomposition(g, 0.1, 0.1, fast_path=True, **kwargs)
+        off = expander_decomposition(g, 0.1, 0.1, fast_path=False, **kwargs)
+        assert decomposition_signature(on) == decomposition_signature(off)
+        assert on.certified_fraction == 1.0
+
+    def test_fast_path_default_is_on(self):
+        g = ring_of_cliques(4, 8)
+        default = expander_decomposition(g, 0.1, 0.1, seed=3)
+        explicit = expander_decomposition(g, 0.1, 0.1, seed=3, fast_path=True)
+        assert decomposition_signature(default) == decomposition_signature(explicit)
+
+
+class TestSparseCutParity:
+    def test_sparse_cut_on_off_identical(self):
+        for name, g in family_graphs():
+            for backend in ("dict", "csr"):
+                on = nearly_most_balanced_sparse_cut(
+                    g, 0.1, seed=7, backend=backend, fast_path=True
+                )
+                off = nearly_most_balanced_sparse_cut(
+                    g, 0.1, seed=7, backend=backend, fast_path=False
+                )
+                assert on.cut == off.cut, (name, backend)
+                assert on.conductance == off.conductance
+                assert on.balance == off.balance
+                assert on.cut_size == off.cut_size
+                assert on.certified_no_cut == off.certified_no_cut
+                assert on.batches == off.batches
+
+    def test_precheck_skips_batches_on_expander(self):
+        """On a clique every batch is a guaranteed failure: the pre-check
+        must fire immediately and skip all of them."""
+        g = Graph()
+        for i in range(12):
+            for j in range(i + 1, 12):
+                g.add_edge(i, j)
+        result = nearly_most_balanced_sparse_cut(g, 0.1, seed=5, fast_path=True)
+        assert result.certified_no_cut
+        assert result.precheck_skips == result.batches > 0
+        assert result.spectral is not None and result.spectral.exact
+        off = nearly_most_balanced_sparse_cut(g, 0.1, seed=5, fast_path=False)
+        assert off.precheck_skips == 0
+        assert off.batches == result.batches
+
+    def test_skipped_batches_leave_rng_stream_identical(self):
+        """The burn replays exactly the draws the skipped batches would
+        have made, so a draw taken *after* the call matches on/off."""
+        g = Graph()
+        for i in range(10):
+            for j in range(i + 1, 10):
+                g.add_edge(i, j)
+        states = {}
+        for fast_path in (True, False):
+            rng = ensure_rng(123)
+            result = nearly_most_balanced_sparse_cut(
+                g, 0.1, seed=rng, fast_path=fast_path
+            )
+            assert result.certified_no_cut
+            states[fast_path] = rng.bit_generator.state
+        assert states[True] == states[False]
+
+
+class TestAdaptiveWalkBudget:
+    def test_nibble_cuts_identical_with_and_without_budget(self):
+        for name, g in family_graphs():
+            params = NibbleParameters.practical(g, 0.1)
+            rng = ensure_rng(5)
+            degrees = {v: g.degree(v) for v in g.vertices() if g.degree(v) > 0}
+            starts = [sample_by_degree(rng, degrees) for _ in range(3)]
+            for pick, start in enumerate(starts):
+                for scale in (1, params.ell):
+                    for backend in ("dict", "csr"):
+                        assert approximate_nibble(
+                            g, start, scale, params, backend=backend, adaptive=True
+                        ) == approximate_nibble(
+                            g, start, scale, params, backend=backend, adaptive=False
+                        ), (name, start, scale, backend)
+                        if pick == 0:  # the exhaustive scan, once per config
+                            assert nibble(
+                                g, start, scale, params, backend=backend, adaptive=True
+                            ) == nibble(
+                                g, start, scale, params, backend=backend, adaptive=False
+                            ), (name, start, scale, backend)
+
+    def test_budget_stops_early_on_isolated_component(self):
+        """On a closed support (an isolated clique) the budget must stop
+        the walk before the full t0 steps — observable through the cut's
+        time step staying put while outputs agree."""
+        g = ring_of_cliques(2, 16)
+        for u, v in list(g.edges()):
+            if u[0] != v[0]:
+                g.remove_edge_with_loops(u, v)
+        params = NibbleParameters.practical(g, 0.1, t0_override=400)
+        start = sorted(g.vertices(), key=repr)[0]
+        on = approximate_nibble(g, start, 1, params, backend="dict", adaptive=True)
+        off = approximate_nibble(g, start, 1, params, backend="dict", adaptive=False)
+        assert on == off
+
+
+class TestSpectralPrecheck:
+    def test_lower_bound_is_sound_on_random_graphs(self):
+        """λ₂/2 must never exceed the exact conductance (Cheeger)."""
+        rng = ensure_rng(0)
+        for trial in range(20):
+            g = erdos_renyi_graph(10, 0.4, seed=int(rng.integers(1 << 30)))
+            if g.num_vertices < 2 or g.total_volume() == 0:
+                continue
+            bound, cert = conductance_lower_bound(g)
+            exact = graph_conductance_exact(g).conductance
+            assert bound <= exact + PRECHECK_MARGIN, trial
+            if cert is not None:
+                assert cert.exact
+                assert cert.cheeger_lower_bound == bound
+
+    def test_certificate_reproduces_certify_conductance(self):
+        for name, g in family_graphs():
+            for phi in (0.05, 0.1, 0.5):
+                bound, cert = conductance_lower_bound(g, phi)
+                assert cert is not None
+                assert certify_conductance(g, phi, precomputed=cert) == (
+                    certify_conductance(g, phi)
+                ), (name, phi)
+
+    def test_masked_certify_matches_dict_certify(self):
+        """Certification off a peeled view equals certification of the
+        materialised G{U}, bit for bit — estimate and witness included."""
+        for name, g in family_graphs():
+            vertices = sorted(g.vertices(), key=repr)
+            subset = frozenset(vertices[: (2 * len(vertices)) // 3])
+            base = CSRGraph.from_graph(g)
+            view = PeeledCSR.for_subset(base, (base.index[v] for v in subset))
+            guq = g.induced_with_loops(subset)
+            for phi in (0.05, 0.1, 0.5):
+                assert certify_conductance(view, phi) == certify_conductance(
+                    guq, phi
+                ), (name, phi)
+
+    def test_batched_certificates_match_solo_solves(self):
+        """The stacked-eigh sibling solves are bit-identical to solo ones."""
+        g = ring_of_cliques(5, 8)
+        for u, v in list(g.edges()):
+            if u[0] != v[0]:
+                g.remove_edge_with_loops(u, v)  # five isolated cliques
+        view = PeeledCSR.from_graph(g)
+        pieces = view.connected_components()
+        hints = batched_component_certificates(view, pieces)
+        assert all(h is not None and h.exact for h in hints)
+        for piece, hint in zip(pieces, hints):
+            solo_bound, solo_cert = conductance_lower_bound(g.induced_with_loops(piece))
+            assert solo_cert is not None
+            assert hint.lam2 == solo_cert.lam2
+            assert hint.scores == solo_cert.scores
+
+    def test_iterative_bound_fires_on_large_expander_only(self):
+        g = barbell_expanders(640, degree=8, seed=7)
+        base = CSRGraph.from_graph(g)
+        half = [v for v in g.vertices() if v[0] == "L"]
+        view = PeeledCSR.for_subset(base, (base.index[v] for v in half))
+        bound, cert = conductance_lower_bound(view, 0.1)
+        assert cert is None  # iterative path: estimate only, never reused
+        assert bound > 0.1  # a genuine expander clears φ
+        full_bound, _ = conductance_lower_bound(PeeledCSR.full(base), 0.1)
+        assert full_bound <= 0.1  # the bridge cut keeps the bound down
+
+    def test_iterative_bound_is_sound_above_dense_limit(self):
+        """Regression: an unconverged power-iteration screen overestimates
+        λ₂ on clustered graphs (observed 3–4×); a skip must stand on the
+        converged solve, so the returned bound can never exceed the true
+        λ₂/2 by more than solver tolerance — even for tiny φ targets."""
+        g = Graph()
+        clusters, size = 4, 150  # 600 vertices: above PRECHECK_DENSE_LIMIT
+        for c in range(clusters):
+            for i in range(size):
+                for j in range(i + 1, i + 6):  # sparse ring-ish cluster
+                    g.add_edge((c, i), (c, j % size))
+        for c in range(clusters):  # one weak edge between adjacent clusters
+            g.add_edge((c, 0), ((c + 1) % clusters, size // 2))
+        # ground truth from the dense machine-precision path
+        from repro.graphs.spectral import fiedler_scores
+
+        _, lam2_exact = fiedler_scores(g)
+        for phi in (lam2_exact, 2.0 * lam2_exact, 1e-4, 1e-3):
+            bound, _ = conductance_lower_bound(g, phi)
+            assert bound <= lam2_exact / 2.0 + 1e-9, (phi, bound, lam2_exact)
+
+
+class TestDecompositionCache:
+    def test_cached_and_uncached_queries_identical(self):
+        for name, g in family_graphs():
+            plain = decomposition_triangle_enumeration(g, 0.2, 0.1, seed=7)
+            cache = DecompositionCache()
+            cold = decomposition_triangle_enumeration(g, 0.2, 0.1, seed=7, cache=cache)
+            warm = decomposition_triangle_enumeration(g, 0.2, 0.1, seed=7, cache=cache)
+            assert plain.triangles == cold.triangles == warm.triangles, name
+            level_record = lambda r: [
+                (l.level, l.num_vertices, l.num_edges, l.num_clusters,
+                 l.triangles_found, l.removed_edges, l.direct)
+                for l in r.levels
+            ]
+            assert level_record(plain) == level_record(cold) == level_record(warm)
+            assert cache.hits > 0
+
+    def test_cache_misses_across_different_parameters(self):
+        g = ring_of_cliques(4, 8)
+        cache = DecompositionCache()
+        decomposition_triangle_enumeration(g, 0.2, 0.1, seed=7, cache=cache)
+        decomposition_triangle_enumeration(g, 0.2, 0.1, seed=8, cache=cache)
+        # a different seed is a different RNG state: it must not hit
+        assert cache.hits == 0
+        warm = decomposition_triangle_enumeration(g, 0.2, 0.1, seed=7, cache=cache)
+        assert cache.hits > 0
+        assert warm.verified
+
+    def test_cache_restores_rng_stream_on_hit(self):
+        g = ring_of_cliques(4, 8)
+        cache = DecompositionCache()
+        states = []
+        for _ in range(2):
+            rng = ensure_rng(99)
+            decomposition_triangle_enumeration(g, 0.2, 0.1, seed=rng, cache=cache)
+            states.append(rng.bit_generator.state)
+        assert states[0] == states[1]
+
+    def test_cache_eviction_keeps_bound(self):
+        cache = DecompositionCache(max_entries=2)
+        for k in range(4):
+            g = ring_of_cliques(2, 4 + k)
+            cache.snapshot(g)
+        assert len(cache._snapshots) <= 2
+
+    def test_edge_keys_memoised_on_snapshot(self):
+        g = ring_of_cliques(3, 8)
+        csr = CSRGraph.from_graph(g)
+        keys = csr.directed_edge_keys()
+        assert csr.directed_edge_keys() is keys
+        expected = (
+            np.repeat(np.arange(csr.n, dtype=np.int64), csr.proper_degree)
+            * np.int64(csr.n)
+            + csr.indices
+        )
+        assert np.array_equal(keys, expected)
