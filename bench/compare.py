@@ -1,6 +1,8 @@
 """Diff two ``BENCH_decomposition.json`` reports: speedups and regressions.
 
-Matches the records of every section by family name, prints a per-family /
+Matches the records of every section by family name — and, where records
+carry a ``workers`` field, by ``(family, workers)``, so a 4-worker run is
+only ever compared against another 4-worker run — prints a per-family /
 per-stage speedup table (old time ÷ new time), and exits non-zero when any
 stage of any family regressed by more than ``--threshold`` (default 25%).
 Tiny absolute times are exempt (``--min-seconds``, default 0.05s): a 1ms
@@ -36,6 +38,7 @@ TIME_FIELDS = {
         "baseline_time_s",
     ),
     "large_results": ("wall_time_s",),
+    "parallel_scaling": ("wall_time_s",),
     "walk_sweep_comparison": ("dict_time_s", "csr_time_s"),
     "peel_comparison": ("resnapshot_time_s", "peel_time_s"),
     "triangle_cache_results": ("cold_time_s", "warm_time_s"),
@@ -46,6 +49,7 @@ STRUCT_FIELDS = {
     "results": ("num_components", "certified_fraction", "within_budget"),
     "triangle_results": ("triangles", "cluster_triangles", "cross_triangles", "agreement"),
     "large_results": ("num_components", "certified_fraction", "within_budget"),
+    "parallel_scaling": ("num_components", "certified_fraction", "within_budget"),
     "triangle_cache_results": ("triangles", "identical"),
 }
 
@@ -56,9 +60,25 @@ def load_report(path: str) -> dict:
         return json.load(handle)
 
 
-def index_by_family(records: list[dict]) -> dict[str, dict]:
-    """Map a section's records by their family name."""
-    return {record["family"]: record for record in records}
+def record_key(record: dict) -> tuple[str, int]:
+    """The identity of one record: ``(family, workers)``.
+
+    Records written before the parallel engine existed carry no
+    ``workers`` field; they ran sequentially, so they compare against
+    ``workers=1`` runs — never against multi-worker timings.
+    """
+    return (record["family"], int(record.get("workers", 1)))
+
+
+def format_key(key: tuple[str, int]) -> str:
+    """Human label for a record key (worker count only when parallel)."""
+    family, workers = key
+    return family if workers == 1 else f"{family} [{workers}w]"
+
+
+def index_by_family(records: list[dict]) -> dict[tuple[str, int], dict]:
+    """Map a section's records by ``(family, workers)``."""
+    return {record_key(record): record for record in records}
 
 
 def compare_reports(
@@ -79,8 +99,9 @@ def compare_reports(
         if not shared:
             continue
         lines.append(f"[{section}]")
-        for family in shared:
-            old, fresh = old_records[family], new_records[family]
+        for key in shared:
+            family = format_key(key)
+            old, fresh = old_records[key], new_records[key]
             cells = []
             for field in fields:
                 if field not in old or field not in fresh:

@@ -16,6 +16,12 @@ Five sections, all emitted into one JSON report
   ApproximateNibble) across instance sizes from 48 to 10⁵ vertices, with a
   cut-equality assertion per run: the backends must return *identical*
   cuts, the speedup is the only thing allowed to differ.
+* ``parallel_scaling`` — the multicore sweep: the two large families
+  decomposed at 1, 2, and 4 workers through the shared-memory sharded
+  engine (:mod:`repro.parallel`), with the decomposition asserted
+  *identical* across worker counts — only wall time is allowed to move.
+  Each record carries a ``workers`` field so ``bench/compare.py`` never
+  diffs timings across different worker counts.
 * ``peel_comparison`` — the mutable-side comparison: peeling a sequence
   of cuts out of one shared :class:`PeeledCSR` (the incremental engine)
   against the dict Remove-j loop plus the per-cut ``CSRGraph`` re-snapshot
@@ -35,14 +41,17 @@ Five sections, all emitted into one JSON report
 Usage::
 
     PYTHONPATH=src python bench/decompose.py [--seed N] [--output PATH]
-        [--skip-large] [--smoke] [--xl]
+        [--skip-large] [--smoke] [--xl] [--workers N]
 
 ``--skip-large`` runs only the small sections — the original families
 plus the triangle stages (seconds); ``--smoke`` is the CI guard: small
 families only, exits non-zero unless every run certifies 100% of its
 components within the ε·m budget, every triangle stage agrees with the
-oriented enumerator, *and* the certification fast path is cut-identical
-to a fast-path-off rerun of every family; ``--xl`` adds a 10⁵-vertex
+oriented enumerator, the certification fast path is cut-identical
+to a fast-path-off rerun of every family, *and* the sharded engine is
+cut-identical to the sequential one; ``--workers N`` runs the
+results/large_results sections through the N-worker engine (recorded
+per run — outputs are engine-independent); ``--xl`` adds a 10⁵-vertex
 stage comparison (minutes, dominated by the dict baseline's own runtime —
 which is rather the point).  ``bench/compare.py`` diffs two reports.
 """
@@ -238,8 +247,15 @@ def run_family(
     backend: str = "auto",
     sparse_cut_kwargs: Optional[dict] = None,
     fast_path: bool = True,
+    workers: int = 1,
 ) -> dict:
-    """Decompose one family and collect its quality/cost record."""
+    """Decompose one family and collect its quality/cost record.
+
+    ``workers`` selects the execution engine (:mod:`repro.parallel`) and is
+    recorded so ``bench/compare.py`` only ever diffs like-for-like worker
+    counts — the engine is cut-identical by contract, but its wall time is
+    a different measurement.
+    """
     # Collect before timing: earlier sections leave live caches/records
     # whose repeated young-generation GC scans otherwise tax dict-heavy
     # runs by ~25% (measured on the n=10240 ring) — harness noise, not
@@ -254,6 +270,7 @@ def run_family(
         backend=backend,
         sparse_cut_kwargs=sparse_cut_kwargs,
         fast_path=fast_path,
+        workers=workers,
     )
     elapsed = time.perf_counter() - start
     sizes = sorted((len(c) for c in result.components), reverse=True)
@@ -266,6 +283,7 @@ def run_family(
         "seed": seed,
         "backend": backend,
         "fast_path": fast_path,
+        "workers": int(workers or 1),
         "num_components": result.num_components,
         "component_sizes": sizes,
         "certified_fraction": result.certified_fraction,
@@ -275,6 +293,87 @@ def run_family(
         "congest_rounds": result.report.total_rounds,
         "wall_time_s": round(elapsed, 3),
     }
+
+
+def run_parallel_scaling(
+    name: str,
+    builder: Callable[[], Graph],
+    epsilon: float,
+    phi: float,
+    seed: int,
+    sparse_cut_kwargs: Optional[dict] = None,
+    worker_counts: tuple[int, ...] = (1, 2, 4),
+) -> list[dict]:
+    """The per-stage scaling sweep: the same decomposition at 1/2/4 workers.
+
+    Every run must produce the *same* decomposition — identical component
+    vertex sets and removed-edge multiset as the ``workers=1`` reference —
+    which is asserted before any record is written: a worker count that
+    changes an output aborts the benchmark.  Only wall time may differ,
+    and on a multicore box it should (near-linearly on these families,
+    whose batches are dominated by ≥10³-vertex peeled views).
+    """
+    reference: Optional[tuple] = None
+    records = []
+    for workers in worker_counts:
+        record = run_family(
+            name,
+            builder(),
+            epsilon,
+            phi,
+            seed,
+            backend="auto",
+            sparse_cut_kwargs=sparse_cut_kwargs,
+            workers=workers,
+        )
+        structure = (
+            record["num_components"],
+            record["component_sizes"],
+            record["inter_edge_count"],
+            record["congest_rounds"],
+        )
+        if reference is None:
+            reference = structure
+        elif structure != reference:
+            raise AssertionError(
+                f"{name}: workers={workers} changed the decomposition "
+                f"({structure} != {reference})"
+            )
+        records.append(record)
+    return records
+
+
+def assert_sharded_identity(
+    name: str, graph: Graph, epsilon: float, phi: float, seed: int
+) -> None:
+    """Assert the sharded engine changes nothing: cut-identical to sequential.
+
+    Runs the decomposition sequentially and then on a
+    :class:`~repro.parallel.ShardedExecutor` with the shard-size floor
+    dropped to 1, so the process pool genuinely executes every batch even
+    on the small smoke families.  Identical component vertex sets and
+    removed-edge multisets are required; a mismatch raises and aborts the
+    benchmark — the smoke gate treats "the engine changed an output" as a
+    broken build, not a data point.
+    """
+    from repro.parallel import ShardedExecutor
+
+    sequential = expander_decomposition(graph, epsilon=epsilon, phi=phi, seed=seed)
+    with ShardedExecutor(2, min_shard_vertices=1) as executor:
+        sharded = expander_decomposition(
+            graph, epsilon=epsilon, phi=phi, seed=seed, executor=executor
+        )
+    same_components = {c.vertices for c in sequential.components} == {
+        c.vertices for c in sharded.components
+    }
+    same_cuts = Counter(frozenset(e) for e in sequential.cut_edges) == Counter(
+        frozenset(e) for e in sharded.cut_edges
+    )
+    if not (same_components and same_cuts):
+        raise AssertionError(
+            f"{name}: sharded engine changed the decomposition "
+            f"(components equal: {same_components}, cuts equal: {same_cuts})"
+        )
 
 
 def assert_fast_path_identity(
@@ -485,11 +584,20 @@ def main() -> None:
         action="store_true",
         help="Add a 10⁵-vertex stage comparison (slow: times the dict baseline too)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="Worker processes for the results/large_results sections "
+        "(default 1 = sequential engine; outputs are identical either way)",
+    )
     args = parser.parse_args()
 
     records = []
     for name, builder, epsilon, phi in families(args.seed):
-        record = run_family(name, builder(), epsilon, phi, args.seed)
+        record = run_family(
+            name, builder(), epsilon, phi, args.seed, workers=args.workers
+        )
         records.append(record)
         print(
             f"{name}: {record['num_components']} components, "
@@ -506,6 +614,12 @@ def main() -> None:
         for name, builder, epsilon, phi in families(args.seed):
             assert_fast_path_identity(name, builder(), epsilon, phi, args.seed)
         print("fast-path identity: on/off runs cut-identical on all families")
+        # The sharded-identity gate: the process-pool engine (forced to
+        # shard even these small graphs) must reproduce the sequential
+        # decomposition exactly.
+        for name, builder, epsilon, phi in families(args.seed):
+            assert_sharded_identity(name, builder(), epsilon, phi, args.seed)
+        print("sharded identity: 2-worker runs cut-identical on all families")
 
     triangle_records = []
     for name, builder, epsilon, phi in triangle_families(args.seed, args.smoke):
@@ -532,13 +646,21 @@ def main() -> None:
         )
 
     large_records = []
+    scaling_records = []
     stage_records = []
     peel_records = []
     if not (args.skip_large or args.smoke):
         for name, builder, epsilon, phi, kwargs in large_families(args.seed):
             graph = builder()
             record = run_family(
-                name, graph, epsilon, phi, args.seed, backend="auto", sparse_cut_kwargs=kwargs
+                name,
+                graph,
+                epsilon,
+                phi,
+                args.seed,
+                backend="auto",
+                sparse_cut_kwargs=kwargs,
+                workers=args.workers,
             )
             large_records.append(record)
             print(
@@ -568,6 +690,18 @@ def main() -> None:
                 f"peel {record['peel_time_s']}s → {record['speedup']}x "
                 f"(working graphs asserted identical)"
             )
+        for name, builder, epsilon, phi, kwargs in large_families(args.seed):
+            family_records = run_parallel_scaling(
+                name, builder, epsilon, phi, args.seed, sparse_cut_kwargs=kwargs
+            )
+            scaling_records.extend(family_records)
+            base = family_records[0]["wall_time_s"]
+            sweep = ", ".join(
+                f"{r['workers']}w {r['wall_time_s']}s"
+                f" ({base / r['wall_time_s']:.2f}x)"
+                for r in family_records
+            )
+            print(f"[scaling] {name}: {sweep} (decompositions asserted identical)")
 
     payload = {
         "benchmark": "expander_decomposition",
@@ -575,6 +709,7 @@ def main() -> None:
         "triangle_results": triangle_records,
         "triangle_cache_results": triangle_cache_records,
         "large_results": large_records,
+        "parallel_scaling": scaling_records,
         "walk_sweep_comparison": stage_records,
         "peel_comparison": peel_records,
     }
@@ -603,8 +738,8 @@ def main() -> None:
             sys.exit(1)
         print(
             "smoke passed: all families 100% certified within budget, "
-            "triangle stages agree with the oriented enumerator, fast path "
-            "and decomposition cache are output-identical"
+            "triangle stages agree with the oriented enumerator, fast path, "
+            "sharded engine, and decomposition cache are output-identical"
         )
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)

@@ -41,6 +41,7 @@ from ..graphs.spectral import (
     certify_conductance,
 )
 from ..nibble.parameters import ParameterMode, h_inverse
+from ..parallel.executor import Executor, resolve_executor
 from ..utils.rng import SeedLike, ensure_rng
 from ..utils.rounds import RoundReport
 from .sparse_cut import nearly_most_balanced_sparse_cut
@@ -139,6 +140,8 @@ def expander_decomposition(
     sparse_cut_kwargs: Optional[dict] = None,
     backend: str = "auto",
     fast_path: bool = True,
+    executor: Optional[Executor] = None,
+    workers: Optional[int] = None,
 ) -> DecompositionResult:
     """Decompose ``graph`` into φ-expander components, removing ≤ ε·m edges.
 
@@ -188,126 +191,148 @@ def expander_decomposition(
         smoke gate.  Leaf components certify
         straight off the peeled view on the CSR path (no dict ``G{U}``
         rebuild) regardless of this flag.
+    executor, workers:
+        Execution engine for the ParallelNibble batches of every level
+        (:mod:`repro.parallel`).  ``workers`` > 1 creates one
+        :class:`~repro.parallel.executor.ShardedExecutor` — one process
+        pool, one shared snapshot per base — amortised over the whole
+        recursion and closed on return; an explicit ``executor`` is used
+        as-is and left open for its owner.  The engine is output-invisible:
+        every level's batch randomness is counter-addressed, so the
+        decomposition (clusters, cut edges, reports, RNG stream) is
+        identical for sequential, 1-worker, and N-worker runs, and
+        degradation (no shared memory) falls back to sequential with one
+        warning.
     """
     rng = ensure_rng(seed)
+    engine, owned_engine = resolve_executor(executor, workers)
     report = RoundReport("expander_decomposition")
     schedule = level_schedule(phi, graph.num_vertices, mode)
     if max_depth is None:
         max_depth = recursion_depth_bound(graph.num_vertices)
     components: list[ExpanderComponent] = []
     removed: list[Edge] = []
-    # sparse_cut_kwargs may legitimately carry its own "backend" or
-    # "fast_path"; an explicit entry there wins over the
+    # sparse_cut_kwargs may legitimately carry its own "backend",
+    # "fast_path", or "executor"; an explicit entry there wins over the
     # decomposition-level default.
-    cut_kwargs = {"backend": backend, "fast_path": fast_path, **(sparse_cut_kwargs or {})}
+    cut_kwargs = {
+        "backend": backend,
+        "fast_path": fast_path,
+        "executor": engine,
+        **(sparse_cut_kwargs or {}),
+    }
     base: Optional[CSRGraph] = None  # one shared snapshot for every CSR level
 
     stack: list[tuple[frozenset, int, Optional[SpectralCertificate]]] = [
         (frozenset(graph.vertices()), 0, None)
     ]
-    while stack:
-        subset, depth, hint = stack.pop()
-        if not subset:
-            continue
-        view: Optional[PeeledCSR] = None
-        work: Optional[Graph] = None
-        if resolve_backend_size(len(subset), cut_kwargs["backend"]) == "csr":
-            if base is None:
-                base = CSRGraph.from_graph(graph)
-            # Deep-recursion subsets are a shrinking fraction of the host:
-            # compact the view once it has halved so walk vectors stay
-            # proportional to the component, not to the original n.
-            view = maybe_compact(
-                PeeledCSR.for_subset(base, (base.index[v] for v in subset))
-            )
-        else:
-            work = graph.induced_with_loops(subset)
-        target: "Graph | PeeledCSR" = view if view is not None else work
-
-        if len(subset) == 1 or target.num_edges == 0:
-            # Isolated vertices (all their degree is self loops) are
-            # vacuously φ-expanders: they admit no cut at all.
-            for v in subset:
-                components.append(
-                    ExpanderComponent(frozenset([v]), True, float("inf"), depth)
-                )
-            continue
-
-        pieces = target.connected_components()
-        if len(pieces) > 1:
-            # Splitting along existing components removes no edges.  The
-            # canonical piece order (ascending smallest ``repr``, which the
-            # peeled view produces natively) keeps the recursion — and with
-            # it the RNG stream — identical across backends.
-            pieces.sort(key=lambda piece: min(map(repr, piece)))
-            if cut_kwargs["fast_path"] and view is not None:
-                # Batch the sibling components' spectral solves: one
-                # stacked eigh per size class instead of one dispatch per
-                # future pre-check.  Each hint is bit-identical to the solo
-                # solve, so downstream decisions are unchanged.
-                hints = batched_component_certificates(view, pieces)
-            else:
-                hints = [None] * len(pieces)
-            for piece, piece_hint in zip(pieces, hints):
-                stack.append((frozenset(piece), depth, piece_hint))
-            continue
-
-        if depth >= max_depth:
-            certified, estimate, _ = certify_conductance(target, phi, precomputed=hint)
-            components.append(
-                ExpanderComponent(frozenset(subset), certified, estimate, depth)
-            )
-            continue
-
-        # Section 2's parameter chain; PRACTICAL floors the search at φ so
-        # deep levels keep finding the cuts the certification target demands.
-        theta = schedule[min(depth, len(schedule) - 1)]
-        search_phi = theta if mode is ParameterMode.PAPER else max(theta, phi)
-        level_report = report.subreport(f"level {depth} (n={len(subset)})")
-        cut_result = nearly_most_balanced_sparse_cut(
-            target,
-            search_phi,
-            mode=mode,
-            seed=rng,
-            report=level_report,
-            spectral_hint=hint,
-            **cut_kwargs,
-        )
-
-        split: Optional[frozenset] = None
-        if not cut_result.is_empty:
-            split = cut_result.cut
-        else:
-            # Authoritative final check, straight off the working view on
-            # the CSR path (no dict G{U} rebuild); an exact certificate the
-            # fast path already computed for this very graph is reused.
-            certified, estimate, witness = certify_conductance(
-                target, phi, precomputed=cut_result.spectral or hint
-            )
-            if certified:
-                components.append(
-                    ExpanderComponent(frozenset(subset), True, estimate, depth)
-                )
+    try:
+        while stack:
+            subset, depth, hint = stack.pop()
+            if not subset:
                 continue
-            # Nibble certified "no cut" but the spectral check disagrees:
-            # split on the check's own witness cut so a missed sparse cut
-            # cannot silently produce an uncertified component.
-            if witness and len(witness) < len(subset):
-                level_report.subreport("fallback_split").charge(target.num_vertices)
-                split = frozenset(witness)
+            view: Optional[PeeledCSR] = None
+            work: Optional[Graph] = None
+            if resolve_backend_size(len(subset), cut_kwargs["backend"]) == "csr":
+                if base is None:
+                    base = CSRGraph.from_graph(graph)
+                # Deep-recursion subsets are a shrinking fraction of the host:
+                # compact the view once it has halved so walk vectors stay
+                # proportional to the component, not to the original n.
+                view = maybe_compact(
+                    PeeledCSR.for_subset(base, (base.index[v] for v in subset))
+                )
             else:
+                work = graph.induced_with_loops(subset)
+            target: "Graph | PeeledCSR" = view if view is not None else work
+
+            if len(subset) == 1 or target.num_edges == 0:
+                # Isolated vertices (all their degree is self loops) are
+                # vacuously φ-expanders: they admit no cut at all.
+                for v in subset:
+                    components.append(
+                        ExpanderComponent(frozenset([v]), True, float("inf"), depth)
+                    )
+                continue
+
+            pieces = target.connected_components()
+            if len(pieces) > 1:
+                # Splitting along existing components removes no edges.  The
+                # canonical piece order (ascending smallest ``repr``, which the
+                # peeled view produces natively) keeps the recursion — and with
+                # it the RNG stream — identical across backends.
+                pieces.sort(key=lambda piece: min(map(repr, piece)))
+                if cut_kwargs["fast_path"] and view is not None:
+                    # Batch the sibling components' spectral solves: one
+                    # stacked eigh per size class instead of one dispatch per
+                    # future pre-check.  Each hint is bit-identical to the solo
+                    # solve, so downstream decisions are unchanged.
+                    hints = batched_component_certificates(view, pieces)
+                else:
+                    hints = [None] * len(pieces)
+                for piece, piece_hint in zip(pieces, hints):
+                    stack.append((frozenset(piece), depth, piece_hint))
+                continue
+
+            if depth >= max_depth:
+                certified, estimate, _ = certify_conductance(target, phi, precomputed=hint)
                 components.append(
-                    ExpanderComponent(frozenset(subset), False, estimate, depth)
+                    ExpanderComponent(frozenset(subset), certified, estimate, depth)
                 )
                 continue
 
-        rest = frozenset(subset - split)
-        if view is not None:
-            removed.extend(view.cut_edges(view.indices_of(split)))
-        else:
-            removed.extend(work.cut_edges(split))
-        stack.append((split, depth + 1, None))
-        stack.append((rest, depth + 1, None))
+            # Section 2's parameter chain; PRACTICAL floors the search at φ so
+            # deep levels keep finding the cuts the certification target demands.
+            theta = schedule[min(depth, len(schedule) - 1)]
+            search_phi = theta if mode is ParameterMode.PAPER else max(theta, phi)
+            level_report = report.subreport(f"level {depth} (n={len(subset)})")
+            cut_result = nearly_most_balanced_sparse_cut(
+                target,
+                search_phi,
+                mode=mode,
+                seed=rng,
+                report=level_report,
+                spectral_hint=hint,
+                **cut_kwargs,
+            )
+
+            split: Optional[frozenset] = None
+            if not cut_result.is_empty:
+                split = cut_result.cut
+            else:
+                # Authoritative final check, straight off the working view on
+                # the CSR path (no dict G{U} rebuild); an exact certificate the
+                # fast path already computed for this very graph is reused.
+                certified, estimate, witness = certify_conductance(
+                    target, phi, precomputed=cut_result.spectral or hint
+                )
+                if certified:
+                    components.append(
+                        ExpanderComponent(frozenset(subset), True, estimate, depth)
+                    )
+                    continue
+                # Nibble certified "no cut" but the spectral check disagrees:
+                # split on the check's own witness cut so a missed sparse cut
+                # cannot silently produce an uncertified component.
+                if witness and len(witness) < len(subset):
+                    level_report.subreport("fallback_split").charge(target.num_vertices)
+                    split = frozenset(witness)
+                else:
+                    components.append(
+                        ExpanderComponent(frozenset(subset), False, estimate, depth)
+                    )
+                    continue
+
+            rest = frozenset(subset - split)
+            if view is not None:
+                removed.extend(view.cut_edges(view.indices_of(split)))
+            else:
+                removed.extend(work.cut_edges(split))
+            stack.append((split, depth + 1, None))
+            stack.append((rest, depth + 1, None))
+    finally:
+        if owned_engine:
+            engine.close()
 
     return DecompositionResult(
         components=components,

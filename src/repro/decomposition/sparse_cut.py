@@ -39,8 +39,6 @@ import math
 from dataclasses import dataclass
 from typing import Optional, Union
 
-import numpy as np
-
 from ..graphs.csr import CSRGraph, resolve_backend
 from ..graphs.graph import Graph, Vertex
 from ..graphs.peel import PeeledCSR, maybe_compact
@@ -49,34 +47,29 @@ from ..graphs.spectral import (
     SpectralCertificate,
     conductance_lower_bound,
 )
-from ..nibble.nibble import NibbleCut, approximate_nibble
-from ..nibble.parameters import NibbleParameters, ParameterMode
-from ..utils.rng import SeedLike, ensure_rng, sample_by_degree
+from ..nibble.nibble import NibbleCut
+from ..nibble.parameters import NibbleParameters, ParameterMode, sample_scale
+from ..parallel.executor import SEQUENTIAL, Executor, resolve_executor
+from ..parallel.worker import run_nibble_instance
+from ..utils.rng import SeedLike, ensure_rng, stream_root
 from ..utils.rounds import RoundReport, parallel_rounds
 
 #: A working graph: the reference dict form or the peeled-CSR view.
 WorkGraph = Union[Graph, PeeledCSR]
 
-
-def sample_scale(rng: np.random.Generator, ell: int) -> int:
-    """Sample the truncation scale b ∈ {1..ℓ} with P[b = i] ∝ 2^{-i}."""
-    weights = np.array([2.0 ** (-i) for i in range(1, ell + 1)])
-    return int(rng.choice(np.arange(1, ell + 1), p=weights / weights.sum()))
-
-
-def _sorted_degree_map(graph: Graph) -> dict:
-    """Positive degrees keyed by vertex, in canonical ``repr``-sorted order.
-
-    The iteration order of this dict is what maps an RNG draw to a vertex
-    (see :func:`repro.utils.rng.sample_by_degree`); ``repr`` order matches
-    the peeled path's ascending base-index order, keeping the backends'
-    RNG streams in lockstep.
-    """
-    return {
-        v: graph.degree(v)
-        for v in sorted(graph.vertices(), key=repr)
-        if graph.degree(v) > 0
-    }
+# Re-exported for callers that address them through this module (the
+# distributed Nibble program, the public ``repro.decomposition`` surface);
+# the definition lives with the parameter schedule it indexes into.
+__all__ = [
+    "sample_scale",
+    "random_nibble",
+    "harvest_disjoint_cuts",
+    "parallel_nibble_cuts",
+    "parallel_nibble",
+    "SparseCutResult",
+    "default_num_instances",
+    "nearly_most_balanced_sparse_cut",
+]
 
 
 def random_nibble(
@@ -98,40 +91,25 @@ def random_nibble(
     and pick the same start for a shared seed.  ``backend``/``csr``/
     ``adaptive`` are as in :func:`repro.nibble.nibble.nibble`; a
     :class:`PeeledCSR` ``graph`` always runs the masked CSR engine.
-    ``degrees`` may carry a prebuilt :func:`_sorted_degree_map` so a batch
-    of instances on an unchanged graph pays for it once; it must describe
-    the current graph.
+    ``degrees`` may carry a prebuilt
+    :func:`~repro.graphs.graph.sorted_degree_map` so a batch of instances
+    on an unchanged graph pays for it once; it must describe the current
+    graph.  The sampling-then-walk body is the shared
+    :func:`repro.parallel.worker.run_nibble_instance` — the exact function
+    every executor runs — so "one instance" means the same thing inline
+    and on a worker.
     """
-    rng = ensure_rng(rng)
-    if isinstance(graph, PeeledCSR):
-        start_index = graph.sample_start(rng)
-        if start_index is None:
-            return None
-        scale = sample_scale(rng, params.ell)
-        return approximate_nibble(
-            graph,
-            graph.vertices[start_index],
-            scale,
-            params,
-            report=report,
-            adaptive=adaptive,
-        )
-    if degrees is None:
-        degrees = _sorted_degree_map(graph)
-    if not degrees:
-        return None
-    start = sample_by_degree(rng, degrees)
-    scale = sample_scale(rng, params.ell)
-    return approximate_nibble(
+    _, cut = run_nibble_instance(
         graph,
-        start,
-        scale,
         params,
-        report=report,
+        ensure_rng(rng),
         backend=backend,
         csr=csr,
+        degrees=degrees,
         adaptive=adaptive,
+        report=report,
     )
+    return cut
 
 
 def harvest_disjoint_cuts(cuts: list[NibbleCut]) -> list[NibbleCut]:
@@ -167,6 +145,8 @@ def parallel_nibble_cuts(
     backend: str = "auto",
     csr: Optional[CSRGraph] = None,
     adaptive: bool = True,
+    executor: Optional[Executor] = None,
+    stream: Optional[tuple[int, int]] = None,
 ) -> list[NibbleCut]:
     """A ParallelNibble batch, harvesting every disjoint certified cut.
 
@@ -177,14 +157,27 @@ def parallel_nibble_cuts(
     disjoint cuts are available at once; returning only the best would
     throw the others away and pay a whole extra batch to rediscover them.
 
+    How the instances run is the ``executor``'s business
+    (:mod:`repro.parallel`; default the sequential oracle).  Their
+    randomness is addressed, not streamed: ``stream=(root, batch_index)``
+    names the batch, and instance ``i`` draws from the counter-derived
+    stream keyed by ``(root, batch_index, i)`` — identical on every
+    executor.  When ``stream`` is omitted (direct callers), a root is drawn
+    from ``rng`` — one draw, however many instances run.  Round accounting
+    is rebuilt driver-side from the scales the executor reports, so the
+    :class:`~repro.utils.rounds.RoundReport` is executor-independent too.
+
     When the CSR backend is selected the graph is snapshotted into CSR form
     once and shared by every instance of the batch; callers that run many
     batches on an unchanged graph can pass a prebuilt ``csr`` snapshot.  A
     :class:`PeeledCSR` ``graph`` needs no snapshotting at all — the view is
     already the engine's native form.
     """
-    rng = ensure_rng(rng)
-    degrees: Optional[dict] = None
+    if stream is None:
+        stream = (stream_root(rng), 0)
+    root, batch_index = stream
+    if executor is None:
+        executor = SEQUENTIAL
     if isinstance(graph, PeeledCSR):
         chosen = "csr"
         csr = None
@@ -195,23 +188,27 @@ def parallel_nibble_cuts(
                 csr = CSRGraph.from_graph(graph)
         else:
             csr = None
-        # The graph is unchanged for the whole batch: build the canonical
-        # start-sampling map once, not once per instance.
-        degrees = _sorted_degree_map(graph)
+    triples = executor.run_batch(
+        graph,
+        params,
+        root,
+        batch_index,
+        num_instances,
+        backend=chosen,
+        csr=csr,
+        adaptive=adaptive,
+    )
     instance_reports: list[RoundReport] = []
     found: list[NibbleCut] = []
-    for i in range(num_instances):
+    for i, scale, cut in triples:
         instance_report = RoundReport(f"instance {i}")
-        cut = random_nibble(
-            graph,
-            params,
-            rng,
-            report=instance_report,
-            backend=chosen,
-            csr=csr,
-            degrees=degrees,
-            adaptive=adaptive,
-        )
+        if scale is not None:
+            # Lemma 9 accounting for one ApproximateNibble instance, charged
+            # exactly as the instance itself would have (see
+            # repro.nibble.nibble._charge_rounds).
+            instance_report.subreport(f"approximate_nibble(b={scale})").charge(
+                params.t0 + 2 * params.ell
+            )
         instance_reports.append(instance_report)
         if cut is not None and not cut.is_empty:
             found.append(cut)
@@ -229,6 +226,7 @@ def parallel_nibble(
     backend: str = "auto",
     csr: Optional[CSRGraph] = None,
     adaptive: bool = True,
+    executor: Optional[Executor] = None,
 ) -> Optional[NibbleCut]:
     """A batch of RandomNibble instances; returns the best cut found, if any.
 
@@ -246,6 +244,7 @@ def parallel_nibble(
         backend=backend,
         csr=csr,
         adaptive=adaptive,
+        executor=executor,
     )
     return cuts[0] if cuts else None
 
@@ -260,8 +259,9 @@ class SparseCutResult:
     decomposition's authoritative :func:`repro.graphs.spectral
     .certify_conductance` can reuse the solve instead of repeating it.
     ``precheck_skips`` counts the ParallelNibble batches the spectral
-    pre-check proved pointless and skipped (their RNG draws are still
-    consumed, so skipping is invisible to every downstream sample).
+    pre-check proved pointless and skipped (batch randomness is addressed
+    by counter-derived streams, so a skipped batch's draws are simply
+    never made — nothing downstream can notice).
     """
 
     cut: frozenset
@@ -283,45 +283,6 @@ class SparseCutResult:
 def default_num_instances(graph: WorkGraph) -> int:
     """Batch size for ParallelNibble: Θ(log m) independent instances."""
     return max(4, math.ceil(math.log2(max(graph.num_edges, 2))))
-
-
-def _burn_skipped_batches(
-    search_graph: WorkGraph,
-    params: NibbleParameters,
-    batch_size: int,
-    count: int,
-    rng: np.random.Generator,
-) -> None:
-    """Consume the RNG draws ``count`` skipped ParallelNibble batches would.
-
-    When the spectral pre-check proves every remaining failure batch
-    pointless, the batches' walks and sweeps are skipped — but each of
-    their RandomNibble instances would still have drawn one start vertex
-    and one truncation scale from the shared stream.  Replaying exactly
-    those draws (same weighted start sample, same scale sample, same
-    order) keeps the generator state bit-identical to a fast-path-off run,
-    so every later level of the decomposition sees an unchanged stream and
-    the two runs stay cut-identical end to end.  The graph is unchanged
-    across the skipped batches (they would all have applied nothing), so
-    one degree map serves every burned instance, exactly as
-    :func:`parallel_nibble_cuts` would have rebuilt it per batch.
-    """
-    if count <= 0:
-        return
-    if isinstance(search_graph, PeeledCSR):
-        for _ in range(count):
-            for _ in range(batch_size):
-                if search_graph.sample_start(rng) is None:
-                    return
-                sample_scale(rng, params.ell)
-        return
-    degrees = _sorted_degree_map(search_graph)
-    if not degrees:
-        return
-    for _ in range(count):
-        for _ in range(batch_size):
-            sample_by_degree(rng, degrees)
-            sample_scale(rng, params.ell)
 
 
 class _DictWork:
@@ -475,6 +436,8 @@ def nearly_most_balanced_sparse_cut(
     backend: str = "auto",
     fast_path: bool = True,
     spectral_hint: Optional[SpectralCertificate] = None,
+    executor: Optional[Executor] = None,
+    workers: Optional[int] = None,
 ) -> SparseCutResult:
     """Theorem 3: accumulate Nibble cuts into a nearly most balanced sparse cut.
 
@@ -508,17 +471,32 @@ def nearly_most_balanced_sparse_cut(
     pre-checked yet, the cheap Cheeger lower bound
     (:func:`repro.graphs.spectral.conductance_lower_bound`) is consulted —
     when it strictly clears ``phi``, every remaining batch is guaranteed to
-    fail, so the batches are skipped with their RNG draws replayed
-    (:func:`_burn_skipped_batches`) and the empty certificate is issued
+    fail, so the batches are skipped and the empty certificate is issued
     directly; the walks also run under the adaptive budget.  Both halves
-    are output-neutral by construction: the decomposition retains the full
-    spectral certification as the authoritative final check, and the
-    parity suite pins cut-identity with the fast path on and off.
-    ``spectral_hint`` may carry a precomputed certificate of the *input*
-    graph (the decomposition batches sibling components' solves) so the
-    first pre-check costs nothing.
+    are output-neutral by construction: batch randomness is *addressed* by
+    counter-derived streams (a skipped batch's draws are simply never
+    made, leaving the caller's generator untouched), the decomposition
+    retains the full spectral certification as the authoritative final
+    check, and the parity suite pins cut-identity with the fast path on
+    and off.  ``spectral_hint`` may carry a precomputed certificate of the
+    *input* graph (the decomposition batches sibling components' solves)
+    so the first pre-check costs nothing.
+
+    ``executor``/``workers`` select the execution engine for the
+    ParallelNibble batches (:mod:`repro.parallel`): an explicit
+    ``executor`` is used as-is (and left open — its owner may be amortising
+    one pool over many calls); ``workers`` > 1 creates a
+    :class:`~repro.parallel.executor.ShardedExecutor` for the duration of
+    this call (falling back to sequential, with one warning, when shared
+    memory is unavailable).  The call draws exactly one 64-bit *stream
+    root* from ``seed`` up front and addresses every batch as ``(root,
+    batch_index)``, so the engine choice changes neither the cuts nor the
+    caller's RNG stream — sequential, 1-worker, and N-worker runs are
+    cut- and stream-identical.
     """
     rng = ensure_rng(seed)
+    root = stream_root(rng)
+    engine, owned = resolve_executor(executor, workers)
     own_report = report if report is not None else RoundReport("sparse_cut")
     if isinstance(graph, PeeledCSR):
         work: Union[_DictWork, _PeelWork] = _PeelWork(graph)
@@ -535,76 +513,84 @@ def nearly_most_balanced_sparse_cut(
     spectral_cert: Optional[SpectralCertificate] = None
     checked = False  # whether the current working-graph state was pre-checked
 
-    while (
-        work.num_edges > 0
-        and failures < max_failures
-        and accumulated_volume < balance_target * total_volume
-    ):
-        work.refresh()
-        params = NibbleParameters.for_mode(
-            work.search_graph, phi, mode, **(params_overrides or {})
-        )
-        batch_size = num_instances or default_num_instances(work.search_graph)
-        if fast_path and not checked:
-            checked = True
-            if spectral_hint is not None and not accumulated:
-                bound, cert = spectral_hint.cheeger_lower_bound, spectral_hint
-            else:
-                bound, cert = conductance_lower_bound(work.search_graph, phi=phi)
-            if cert is not None and cert.exact and not accumulated:
-                # Valid for the *input* graph: nothing has been removed yet.
-                spectral_cert = cert
-            if bound > phi + PRECHECK_MARGIN:
-                # Φ(working graph) ≥ λ₂/2 > φ: no prefix can ever satisfy
-                # (C.1), so every remaining batch until max_failures would
-                # apply nothing.  Skip them, replay their RNG draws, and
-                # charge the pre-check's matvec rounds in their place.
-                skipped = max_failures - failures
-                _burn_skipped_batches(
-                    work.search_graph, params, batch_size, skipped, rng
-                )
-                own_report.subreport("spectral_precheck").charge(
-                    2 * math.ceil(math.log2(max(work.search_graph.num_vertices, 2)))
-                )
-                batches += skipped
-                precheck_skips += skipped
-                failures = max_failures
-                break
-        batches += 1
-        cuts = parallel_nibble_cuts(
-            work.search_graph,
-            params,
-            batch_size,
-            rng,
-            report=own_report,
-            backend=backend,
-            adaptive=fast_path,
-        )
-        applied = 0
-        for found in cuts:
-            if accumulated_volume >= balance_target * total_volume:
-                break
-            cut_vertices = set(found.vertices)
-            # An earlier cut of this batch may have been flipped to the big
-            # side and swallowed this one's vertices; skip it then.
-            if not work.contains_all(cut_vertices):
-                continue
-            # Keep S the small side of the working graph so its accumulation
-            # tracks the balance target rather than overshooting it.
-            if work.volume_of(cut_vertices) > work.total_volume() / 2.0:
-                cut_vertices = work.complement(cut_vertices)
-                if not cut_vertices:
+    try:
+        while (
+            work.num_edges > 0
+            and failures < max_failures
+            and accumulated_volume < balance_target * total_volume
+        ):
+            work.refresh()
+            params = NibbleParameters.for_mode(
+                work.search_graph, phi, mode, **(params_overrides or {})
+            )
+            batch_size = num_instances or default_num_instances(work.search_graph)
+            if fast_path and not checked:
+                checked = True
+                if spectral_hint is not None and not accumulated:
+                    bound, cert = spectral_hint.cheeger_lower_bound, spectral_hint
+                else:
+                    bound, cert = conductance_lower_bound(work.search_graph, phi=phi)
+                if cert is not None and cert.exact and not accumulated:
+                    # Valid for the *input* graph: nothing has been removed yet.
+                    spectral_cert = cert
+                if bound > phi + PRECHECK_MARGIN:
+                    # Φ(working graph) ≥ λ₂/2 > φ: no prefix can ever satisfy
+                    # (C.1), so every remaining batch until max_failures would
+                    # apply nothing.  Skip them — their counter-addressed
+                    # streams are simply never opened, so no downstream draw
+                    # can tell — and charge the pre-check's matvec rounds in
+                    # their place.
+                    skipped = max_failures - failures
+                    own_report.subreport("spectral_precheck").charge(
+                        2
+                        * math.ceil(
+                            math.log2(max(work.search_graph.num_vertices, 2))
+                        )
+                    )
+                    batches += skipped
+                    precheck_skips += skipped
+                    failures = max_failures
+                    break
+            batch_index = batches
+            batches += 1
+            cuts = parallel_nibble_cuts(
+                work.search_graph,
+                params,
+                batch_size,
+                report=own_report,
+                backend=backend,
+                adaptive=fast_path,
+                executor=engine,
+                stream=(root, batch_index),
+            )
+            applied = 0
+            for found in cuts:
+                if accumulated_volume >= balance_target * total_volume:
+                    break
+                cut_vertices = set(found.vertices)
+                # An earlier cut of this batch may have been flipped to the big
+                # side and swallowed this one's vertices; skip it then.
+                if not work.contains_all(cut_vertices):
                     continue
-            work.remove(cut_vertices)
-            accumulated |= cut_vertices
-            accumulated_volume = work.initial_volume(accumulated)
-            applied += 1
-        if applied == 0:
-            failures += 1
-        else:
-            failures = 0
-            checked = False  # the working graph changed: re-check before
-            # the next batch (an unchanged graph keeps its verdict)
+                # Keep S the small side of the working graph so its accumulation
+                # tracks the balance target rather than overshooting it.
+                if work.volume_of(cut_vertices) > work.total_volume() / 2.0:
+                    cut_vertices = work.complement(cut_vertices)
+                    if not cut_vertices:
+                        continue
+                work.remove(cut_vertices)
+                accumulated |= cut_vertices
+                accumulated_volume = work.initial_volume(accumulated)
+                applied += 1
+            if applied == 0:
+                failures += 1
+            else:
+                failures = 0
+                checked = False  # the working graph changed: re-check before
+                # the next batch (an unchanged graph keeps its verdict)
+    finally:
+        if owned:
+            engine.close()
 
     if not accumulated:
         return SparseCutResult(

@@ -29,6 +29,8 @@ import enum
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..graphs.graph import Graph
 
 
@@ -205,3 +207,17 @@ def h_inverse(theta: float, num_vertices: int, mode: ParameterMode = ParameterMo
     if mode is ParameterMode.PAPER:
         return (theta / (constant * math.log(n) ** (5.0 / 3.0))) ** 3
     return (theta / (constant * math.log(n) ** (1.0 / 3.0))) ** 3
+
+
+def sample_scale(rng, ell: int) -> int:
+    """Sample the truncation scale b ∈ {1..ℓ} with P[b = i] ∝ 2^{-i}.
+
+    One RandomNibble instance consumes exactly two draws from its stream —
+    a degree-proportional start and this scale — so the draw lives next to
+    the parameter schedule it indexes into, where both the sequential
+    driver (:mod:`repro.decomposition.sparse_cut`) and the parallel
+    executors (:mod:`repro.parallel`) can reach it without importing each
+    other.
+    """
+    weights = np.array([2.0 ** (-i) for i in range(1, ell + 1)])
+    return int(rng.choice(np.arange(1, ell + 1), p=weights / weights.sum()))

@@ -1,0 +1,41 @@
+"""Shared-memory multicore execution backends for the decomposition.
+
+The pipeline's ParallelNibble batches are embarrassingly parallel — the
+paper even names them that way — and this package is the explicit seam
+through which they run: an :class:`~repro.parallel.executor.Executor`
+protocol with a sequential oracle and a process-pool engine, a
+:class:`~repro.parallel.shared.SharedCSR` transport that moves the
+immutable CSR snapshot into ``multiprocessing.shared_memory`` exactly
+once, and the counter-based stream splitting of :mod:`repro.utils.rng`
+that makes sequential, 1-worker, and N-worker runs cut- and
+stream-identical.  ``docs/PARALLEL.md`` is the narrative companion.
+"""
+
+from .executor import (
+    SEQUENTIAL,
+    SHARD_MIN_VERTICES,
+    BatchResult,
+    Executor,
+    SequentialExecutor,
+    ShardedExecutor,
+    resolve_executor,
+    sequential_batch,
+)
+from .shared import SharedCSR, SharedCSRMeta, shared_memory_available
+from .worker import run_nibble_instance, run_sharded_chunk
+
+__all__ = [
+    "BatchResult",
+    "Executor",
+    "SEQUENTIAL",
+    "SHARD_MIN_VERTICES",
+    "SequentialExecutor",
+    "ShardedExecutor",
+    "SharedCSR",
+    "SharedCSRMeta",
+    "resolve_executor",
+    "run_nibble_instance",
+    "run_sharded_chunk",
+    "sequential_batch",
+    "shared_memory_available",
+]

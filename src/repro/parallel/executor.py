@@ -1,0 +1,388 @@
+"""The execution-backend seam: how a ParallelNibble batch actually runs.
+
+Three layers of the pipeline — :func:`repro.decomposition.sparse_cut.
+parallel_nibble_cuts`, :func:`~repro.decomposition.sparse_cut.
+nearly_most_balanced_sparse_cut`, and :func:`repro.decomposition.expander.
+expander_decomposition` — used to hand-roll the same in-loop sequencing of
+a batch's RandomNibble instances.  This module replaces that with one
+explicit protocol:
+
+* :class:`Executor` — ``run_batch(graph, params, root, batch_index, ...)``
+  returns ordered ``(instance_index, scale, cut)`` triples.  Executors
+  never touch :class:`~repro.utils.rounds.RoundReport`; the driver rebuilds
+  exact round accounting from the returned scales, so reports are
+  executor-independent by construction.
+* :class:`SequentialExecutor` — the bit-identity oracle: every instance
+  runs inline, in index order, on its counter-derived stream.
+* :class:`ShardedExecutor` — the multicore engine: the batch's immutable
+  CSR snapshot is published once into shared memory
+  (:class:`~repro.parallel.shared.SharedCSR`) and the instances fan out
+  over a ``ProcessPoolExecutor``, chunked contiguously across workers.
+
+Cut-identity across engines falls out of the stream discipline
+(:func:`repro.utils.rng.task_stream`): instance ``i`` of batch ``b`` draws
+from a stream keyed by ``(root, b, i)`` on every engine, so which worker
+runs it — or whether a pool exists at all — cannot reach the outputs.
+That same property makes every fallback here safe: a broken pool, an
+unpicklable payload, or missing shared memory degrades to the sequential
+path *mid-run* without changing a single cut.
+"""
+
+from __future__ import annotations
+
+import atexit
+import warnings
+import weakref
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..graphs.graph import sorted_degree_map
+from ..graphs.peel import PeeledCSR
+from ..nibble.nibble import NibbleCut
+from ..nibble.parameters import NibbleParameters
+from .shared import SharedCSR, shared_memory_available
+from .worker import run_nibble_instance, run_sharded_chunk
+
+#: A batch result: ``(instance_index, scale-or-None, cut-or-None)`` triples,
+#: ascending by instance index.
+BatchResult = list[tuple[int, Optional[int], Optional[NibbleCut]]]
+
+#: Below this many alive vertices a sharded batch runs inline: the walks
+#: are microseconds-cheap and per-task IPC would dominate.  Deep-recursion
+#: pieces therefore stay sequential while the big early levels fan out.
+SHARD_MIN_VERTICES = 256
+
+#: How many published snapshots a sharded executor keeps live at once.
+#: Compaction mints a new base per halving, so a recursion branch touches
+#: O(log n) bases over its lifetime but only the latest few concurrently.
+PUBLISH_CACHE_SIZE = 8
+
+
+def sequential_batch(
+    graph,
+    params: NibbleParameters,
+    root: int,
+    batch_index: int,
+    num_instances: int,
+    backend: str = "auto",
+    csr: Optional[CSRGraph] = None,
+    adaptive: bool = True,
+    task_streams=None,
+) -> BatchResult:
+    """Run a whole batch inline, instance by instance, in index order.
+
+    The shared body of :class:`SequentialExecutor` and of every fallback in
+    :class:`ShardedExecutor`.  ``task_streams`` defaults to
+    :func:`repro.utils.rng.task_stream`; injectable for tests that probe
+    the stream keying.
+    """
+    from ..utils.rng import task_stream
+
+    streams = task_streams or task_stream
+    degrees: Optional[dict] = None
+    if not isinstance(graph, PeeledCSR):
+        # Unchanged graph for the whole batch: build the canonical
+        # start-sampling map once, not once per instance.
+        degrees = sorted_degree_map(graph)
+    results: BatchResult = []
+    for i in range(num_instances):
+        scale, cut = run_nibble_instance(
+            graph,
+            params,
+            streams(root, batch_index, i),
+            backend=backend,
+            csr=csr,
+            degrees=degrees,
+            adaptive=adaptive,
+        )
+        results.append((i, scale, cut))
+    return results
+
+
+class Executor:
+    """Protocol for running one ParallelNibble batch of Nibble instances.
+
+    ``run_batch`` is the whole surface: given the working graph, the
+    parameter schedule, the batch's stream address ``(root, batch_index)``
+    and the instance count, return the ``(instance_index, scale, cut)``
+    triples in ascending index order.  Implementations must be
+    output-deterministic in those inputs — scheduling, worker identity, and
+    chunking may never reach a result — and must not touch round reports
+    (the driver charges rounds from the scales).
+
+    Executors are context managers; :meth:`close` releases whatever the
+    engine holds (pools, shared segments) and is idempotent.
+    """
+
+    name = "abstract"
+
+    def run_batch(
+        self,
+        graph,
+        params: NibbleParameters,
+        root: int,
+        batch_index: int,
+        num_instances: int,
+        backend: str = "auto",
+        csr: Optional[CSRGraph] = None,
+        adaptive: bool = True,
+    ) -> BatchResult:
+        """Run the batch; see the class docstring for the contract."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release engine resources; idempotent, safe to call twice."""
+
+    def __enter__(self) -> "Executor":
+        """Context manager: yields the executor."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context manager: closes the executor."""
+        self.close()
+
+
+class SequentialExecutor(Executor):
+    """The in-process oracle: the batch runs inline in instance order.
+
+    Every other engine is defined as "produces exactly what this produces";
+    the parity suite (``tests/test_parallel.py``) pins that equivalence.
+    Stateless — the module-level :data:`SEQUENTIAL` singleton serves every
+    caller.
+    """
+
+    name = "sequential"
+
+    def run_batch(
+        self,
+        graph,
+        params: NibbleParameters,
+        root: int,
+        batch_index: int,
+        num_instances: int,
+        backend: str = "auto",
+        csr: Optional[CSRGraph] = None,
+        adaptive: bool = True,
+    ) -> BatchResult:
+        """Run every instance inline via :func:`sequential_batch`."""
+        return sequential_batch(
+            graph, params, root, batch_index, num_instances,
+            backend=backend, csr=csr, adaptive=adaptive,
+        )
+
+
+#: The shared stateless sequential engine (the default executor).
+SEQUENTIAL = SequentialExecutor()
+
+#: Sharded executors still open, closed as an ``atexit`` backstop so an
+#: interrupted run leaks no ``/dev/shm`` segments.  Weak references: the
+#: backstop must not keep abandoned executors (and their segments' python
+#: handles) alive on its own.
+_LIVE_SHARDED: "weakref.WeakSet[ShardedExecutor]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_live_executors() -> None:
+    """Interpreter-exit backstop: unlink every still-open executor's segments."""
+    for executor in list(_LIVE_SHARDED):
+        executor.close()
+
+
+class ShardedExecutor(Executor):
+    """Process-pool engine: batches fan out over shared-memory snapshots.
+
+    The pool is created lazily on the first sharded batch (constructing an
+    executor is free).  Batches on dict graphs, on views smaller than
+    ``min_shard_vertices``, or after the pool has broken run inline through
+    :func:`sequential_batch` — identical results either way, per the stream
+    discipline.  Published segments are cached per snapshot object (keyed
+    by identity, holding the base alive so the key cannot be recycled) and
+    unlinked on LRU eviction, :meth:`close`, context-manager exit, or the
+    ``atexit`` backstop.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        workers: int,
+        min_shard_vertices: int = SHARD_MIN_VERTICES,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = int(workers)
+        self.min_shard_vertices = int(min_shard_vertices)
+        self._pool = None
+        #: id(base) -> (base, SharedCSR); the strong base reference pins the
+        #: identity key for the handle's lifetime.
+        self._published: "OrderedDict[int, tuple[CSRGraph, SharedCSR]]" = OrderedDict()
+        self._broken = False
+        self._closed = False
+        _LIVE_SHARDED.add(self)
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        """The lazily-created process pool (created once, reused per batch)."""
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _publish(self, base: CSRGraph) -> SharedCSR:
+        """The shared segment for ``base``, publishing on first sight (LRU)."""
+        key = id(base)
+        entry = self._published.get(key)
+        if entry is not None:
+            self._published.move_to_end(key)
+            return entry[1]
+        handle = SharedCSR.publish(base)
+        self._published[key] = (base, handle)
+        while len(self._published) > PUBLISH_CACHE_SIZE:
+            _, (_, evicted) = self._published.popitem(last=False)
+            evicted.unlink()
+        return handle
+
+    def _degrade(self, exc: Exception) -> None:
+        """Mark the pool broken and warn once; later batches run inline."""
+        self._broken = True
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - shutdown of a dead pool
+                pass
+            self._pool = None
+        warnings.warn(
+            "sharded executor degraded to sequential execution "
+            f"({type(exc).__name__}: {exc}); results are unaffected",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        graph,
+        params: NibbleParameters,
+        root: int,
+        batch_index: int,
+        num_instances: int,
+        backend: str = "auto",
+        csr: Optional[CSRGraph] = None,
+        adaptive: bool = True,
+    ) -> BatchResult:
+        """Fan the batch out over the pool; degrade inline when not worth it.
+
+        Only :class:`PeeledCSR` batches above the size floor are shipped —
+        dict-graph batches (small by the backend auto-threshold) and tiny
+        views run inline.  Any pool-side failure degrades the executor
+        permanently (one warning) and re-runs the batch inline; the
+        counter-keyed streams make the re-run bit-identical to what the
+        workers would have returned.
+        """
+        if (
+            self._broken
+            or self._closed
+            or num_instances < 2
+            or not isinstance(graph, PeeledCSR)
+            or graph.num_vertices < self.min_shard_vertices
+        ):
+            return sequential_batch(
+                graph, params, root, batch_index, num_instances,
+                backend=backend, csr=csr, adaptive=adaptive,
+            )
+        try:
+            meta = self._publish(graph.base).meta
+            pool = self._ensure_pool()
+            chunks = [
+                chunk
+                for chunk in np.array_split(
+                    np.arange(num_instances), min(self.workers, num_instances)
+                )
+                if chunk.size
+            ]
+            futures = [
+                pool.submit(
+                    run_sharded_chunk,
+                    meta,
+                    graph.alive,
+                    graph.proper_degree,
+                    graph.loops,
+                    graph.total_volume,
+                    graph.num_edges,
+                    params,
+                    root,
+                    batch_index,
+                    [int(i) for i in chunk],
+                    adaptive,
+                )
+                for chunk in chunks
+            ]
+            results: BatchResult = []
+            for future in futures:
+                results.extend(future.result())
+        except Exception as exc:
+            self._degrade(exc)
+            return sequential_batch(
+                graph, params, root, batch_index, num_instances,
+                backend=backend, csr=csr, adaptive=adaptive,
+            )
+        results.sort(key=lambda triple: triple[0])
+        return results
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down and unlink every published segment; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+            except Exception:  # pragma: no cover - interpreter teardown
+                pass
+            self._pool = None
+        while self._published:
+            _, (_, handle) = self._published.popitem(last=False)
+            handle.unlink()
+        _LIVE_SHARDED.discard(self)
+
+
+_FALLBACK_WARNED = False
+
+
+def resolve_executor(
+    executor: Optional[Executor] = None,
+    workers: Optional[int] = None,
+) -> tuple[Executor, bool]:
+    """Turn the user-facing ``executor=``/``workers=`` pair into an engine.
+
+    Returns ``(executor, owned)``: ``owned`` tells the caller whether it
+    created the engine and must :meth:`~Executor.close` it when done (a
+    caller-supplied executor is never closed by the callee — its owner may
+    be amortising one pool over many calls).
+
+    Degradation, per the satellite contract, never crashes: ``workers``
+    ≤ 1 (or unset) is simply the sequential engine, and ``workers`` > 1
+    without working shared memory warns once per process and falls back to
+    sequential.  An explicit ``executor`` wins over ``workers``.
+    """
+    global _FALLBACK_WARNED
+    if executor is not None:
+        return executor, False
+    if workers is None or workers <= 1:
+        return SEQUENTIAL, False
+    if not shared_memory_available():
+        if not _FALLBACK_WARNED:
+            _FALLBACK_WARNED = True
+            warnings.warn(
+                "multiprocessing.shared_memory is unavailable; "
+                f"workers={workers} falls back to sequential execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return SEQUENTIAL, False
+    return ShardedExecutor(workers), True

@@ -1,0 +1,158 @@
+"""Worker-process side of the sharded executor (and the shared instance body).
+
+The driver ships each worker one *chunk* of a ParallelNibble batch: the
+:class:`~repro.parallel.shared.SharedCSRMeta` of the published snapshot,
+the batch's :class:`~repro.graphs.peel.PeeledCSR` mask state (small dense
+arrays), the stream root / batch index, and the instance indices of the
+chunk.  :func:`run_sharded_chunk` rehydrates the view and runs each
+instance on its own counter-derived stream — no state flows between
+instances, between chunks, or between processes, which is the whole
+determinism argument (``docs/PARALLEL.md``).
+
+:func:`run_nibble_instance` is the single shared body of one RandomNibble
+instance.  The sequential driver (:func:`repro.decomposition.sparse_cut.
+random_nibble`), the :class:`~repro.parallel.executor.SequentialExecutor`,
+and the sharded workers all call this exact function, so "what one
+instance does with its stream" is defined in one place and cannot drift
+between engines.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..graphs.graph import sorted_degree_map
+from ..graphs.peel import PeeledCSR
+from ..nibble.nibble import NibbleCut, approximate_nibble
+from ..nibble.parameters import NibbleParameters, sample_scale
+from ..utils.rng import sample_by_degree, task_stream
+from ..utils.rounds import RoundReport
+from .shared import SharedCSR, SharedCSRMeta
+
+#: How many attached snapshots a worker process keeps rehydrated at once.
+#: The decomposition touches at most a couple of bases concurrently (the
+#: host snapshot plus recent compactions), so a small cache covers the
+#: working set; evicted handles just close their mapping.
+ATTACH_CACHE_SIZE = 4
+
+_ATTACHED: "OrderedDict[str, SharedCSR]" = OrderedDict()
+
+
+def attached_graph(meta: SharedCSRMeta) -> CSRGraph:
+    """The rehydrated snapshot for ``meta``, via the per-process LRU cache.
+
+    One segment is attached (and its labels unpickled) at most once per
+    worker process no matter how many chunks reference it; eviction closes
+    the mapping (never unlinks — workers don't own segments).  A close that
+    races a still-referenced buffer is a no-op (``SharedCSR.close`` tolerates
+    the ``BufferError``), so eviction can never corrupt an in-flight chunk.
+    """
+    handle = _ATTACHED.get(meta.name)
+    if handle is None:
+        handle = SharedCSR.attach(meta)
+        _ATTACHED[meta.name] = handle
+        while len(_ATTACHED) > ATTACH_CACHE_SIZE:
+            _, evicted = _ATTACHED.popitem(last=False)
+            evicted.close()
+    else:
+        _ATTACHED.move_to_end(meta.name)
+    return handle.graph
+
+
+def run_nibble_instance(
+    graph: "PeeledCSR | object",
+    params: NibbleParameters,
+    stream: np.random.Generator,
+    backend: str = "auto",
+    csr: Optional[CSRGraph] = None,
+    degrees: Optional[dict] = None,
+    adaptive: bool = True,
+    report: Optional[RoundReport] = None,
+) -> tuple[Optional[int], Optional[NibbleCut]]:
+    """One RandomNibble instance on its private ``stream``.
+
+    Draws the degree-proportional start and the truncation scale from
+    ``stream`` (exactly two draws, in that order — the repository's pinned
+    instance protocol), then runs ApproximateNibble.  Returns ``(scale,
+    cut)``; ``scale`` is ``None`` when the graph was empty and nothing was
+    drawn, so callers can rebuild exact round accounting from the scales
+    alone (the executors run with ``report=None`` and the *driver* charges
+    rounds — see :meth:`repro.parallel.executor.Executor.run_batch`).
+
+    ``degrees`` may carry a prebuilt
+    :func:`~repro.graphs.graph.sorted_degree_map` of a dict ``graph`` so a
+    batch pays for it once; it must describe the current graph.
+    """
+    if isinstance(graph, PeeledCSR):
+        start_index = graph.sample_start(stream)
+        if start_index is None:
+            return None, None
+        scale = sample_scale(stream, params.ell)
+        return scale, approximate_nibble(
+            graph,
+            graph.vertices[start_index],
+            scale,
+            params,
+            report=report,
+            adaptive=adaptive,
+        )
+    if degrees is None:
+        degrees = sorted_degree_map(graph)
+    if not degrees:
+        return None, None
+    start = sample_by_degree(stream, degrees)
+    scale = sample_scale(stream, params.ell)
+    return scale, approximate_nibble(
+        graph,
+        start,
+        scale,
+        params,
+        report=report,
+        backend=backend,
+        csr=csr,
+        adaptive=adaptive,
+    )
+
+
+def run_sharded_chunk(
+    meta: SharedCSRMeta,
+    alive: np.ndarray,
+    proper_degree: np.ndarray,
+    loops: np.ndarray,
+    total_volume: int,
+    num_edges: int,
+    params: NibbleParameters,
+    root: int,
+    batch_index: int,
+    instance_indices: list[int],
+    adaptive: bool = True,
+) -> list[tuple[int, Optional[int], Optional[NibbleCut]]]:
+    """Run one chunk of a ParallelNibble batch inside a worker process.
+
+    Rebuilds the batch's :class:`PeeledCSR` view over the shared snapshot
+    (zero-copy base arrays, small shipped mask arrays) and runs every
+    instance of the chunk on :func:`repro.utils.rng.task_stream` keyed by
+    ``(batch_index, instance_index)`` — the key names *what* the task is,
+    never where it runs, so the triples this returns are identical to what
+    the sequential executor computes for the same indices.  Returns
+    ``(instance_index, scale, cut)`` triples in chunk order.
+    """
+    base = attached_graph(meta)
+    view = PeeledCSR(
+        base=base,
+        alive=np.asarray(alive, dtype=bool),
+        proper_degree=np.asarray(proper_degree, dtype=np.int64),
+        loops=np.asarray(loops, dtype=np.int64),
+        total_volume=int(total_volume),
+        num_edges=int(num_edges),
+    )
+    out: list[tuple[int, Optional[int], Optional[NibbleCut]]] = []
+    for i in instance_indices:
+        stream = task_stream(root, batch_index, int(i))
+        scale, cut = run_nibble_instance(view, params, stream, adaptive=adaptive)
+        out.append((int(i), scale, cut))
+    return out

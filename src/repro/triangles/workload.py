@@ -95,6 +95,21 @@ def _rng_state_key(rng: np.random.Generator) -> str:
     return json.dumps(rng.bit_generator.state, sort_keys=True, default=str)
 
 
+def _scrub_execution_kwargs(sparse_cut_kwargs: Optional[dict]) -> dict:
+    """Drop execution-engine keys from sparse-cut kwargs before key-building.
+
+    ``executor`` and ``workers`` select *how* batches run, never *what* they
+    produce (the :mod:`repro.parallel` identity contract), so they must not
+    fragment the decomposition cache — and an executor object's ``repr``
+    would poison the key with a process-local address anyway.
+    """
+    return {
+        k: v
+        for k, v in (sparse_cut_kwargs or {}).items()
+        if k not in ("executor", "workers")
+    }
+
+
 class DecompositionCache:
     """Memoises per-level decompositions and CSR snapshots across queries.
 
@@ -143,6 +158,8 @@ class DecompositionCache:
         fast_path: bool,
         sparse_cut_kwargs: Optional[dict],
         rng: np.random.Generator,
+        executor=None,
+        workers: Optional[int] = None,
     ) -> DecompositionResult:
         """The expander decomposition of ``work``, cached.
 
@@ -151,6 +168,12 @@ class DecompositionCache:
         result with the generator's post-run state; a hit restores that
         state into ``rng`` and returns the stored result.  Callers must
         treat the result as immutable — it is shared across queries.
+
+        The key deliberately excludes ``executor``/``workers`` (and scrubs
+        them out of ``sparse_cut_kwargs``): the execution engine is
+        output-invisible (:mod:`repro.parallel`), so a cache warmed by a
+        sequential run must hit — and does hit — from a sharded run of the
+        same query, and vice versa.
         """
         key = (
             graph_fingerprint(work),
@@ -159,7 +182,7 @@ class DecompositionCache:
             mode.value,
             backend,
             bool(fast_path),
-            repr(sorted((sparse_cut_kwargs or {}).items())),
+            repr(sorted(_scrub_execution_kwargs(sparse_cut_kwargs).items())),
             _rng_state_key(rng),
         )
         entry = self._decompositions.get(key)
@@ -179,6 +202,8 @@ class DecompositionCache:
             backend=backend,
             fast_path=fast_path,
             sparse_cut_kwargs=sparse_cut_kwargs,
+            executor=executor,
+            workers=workers,
         )
         self._decompositions[key] = (result, rng.bit_generator.state)
         while len(self._decompositions) > self.max_entries:
@@ -364,6 +389,8 @@ def decomposition_triangle_enumeration(
     sparse_cut_kwargs: Optional[dict] = None,
     fast_path: bool = True,
     cache: Optional[DecompositionCache] = None,
+    executor=None,
+    workers: Optional[int] = None,
 ) -> TriangleWorkloadResult:
     """Enumerate every triangle of ``graph`` via Theorem 2's recursion.
 
@@ -391,8 +418,18 @@ def decomposition_triangle_enumeration(
     skip straight to the cluster stage.  Hits restore the RNG stream to the
     post-decomposition state, so cached and uncached runs return
     bit-identical triangle sets and level records.
+
+    ``executor``/``workers`` select the execution engine for every level's
+    decomposition (:mod:`repro.parallel`): ``workers`` > 1 opens one
+    sharded engine amortised across all recursion levels and closed on
+    return.  The engine never reaches an output or a cache key — sharded
+    and sequential queries return identical triangle sets and share cache
+    entries.
     """
+    from ..parallel.executor import resolve_executor
+
     rng = ensure_rng(seed)
+    engine, owned_engine = resolve_executor(executor, workers)
     report = RoundReport("triangle_enumeration")
     triangles: set = set()
     levels: list[TriangleLevel] = []
@@ -427,67 +464,73 @@ def decomposition_triangle_enumeration(
         )
         return len(found)
 
-    while work.num_edges > 0:
-        level_report = report.subreport(f"level {level} (m={work.num_edges})")
+    try:
+        while work.num_edges > 0:
+            level_report = report.subreport(f"level {level} (m={work.num_edges})")
 
-        if work.num_edges <= BASE_CASE_EDGE_LIMIT:
-            found_total += _direct_level(level_report, work, level)
-            break
+            if work.num_edges <= BASE_CASE_EDGE_LIMIT:
+                found_total += _direct_level(level_report, work, level)
+                break
 
-        begin = time.perf_counter()
-        if cache is not None:
-            decomposition = cache.decomposition(
-                work,
-                epsilon=epsilon,
-                phi=phi,
-                mode=mode,
-                backend=backend,
-                fast_path=fast_path,
-                sparse_cut_kwargs=sparse_cut_kwargs,
-                rng=rng,
+            begin = time.perf_counter()
+            if cache is not None:
+                decomposition = cache.decomposition(
+                    work,
+                    epsilon=epsilon,
+                    phi=phi,
+                    mode=mode,
+                    backend=backend,
+                    fast_path=fast_path,
+                    sparse_cut_kwargs=sparse_cut_kwargs,
+                    rng=rng,
+                    executor=engine,
+                )
+            else:
+                decomposition = expander_decomposition(
+                    work,
+                    epsilon=epsilon,
+                    phi=phi,
+                    mode=mode,
+                    seed=rng,
+                    backend=backend,
+                    fast_path=fast_path,
+                    sparse_cut_kwargs=sparse_cut_kwargs,
+                    executor=engine,
+                )
+            decompose_seconds = time.perf_counter() - begin
+            level_report.add_child(decomposition.report)
+
+            removed = decomposition.cut_edges
+            if len(removed) >= work.num_edges:
+                # Degenerate decomposition (everything removed): no cluster has
+                # an edge, so recursing would loop on the same instance forever.
+                found_total += _direct_level(level_report, work, level)
+                break
+
+            begin = time.perf_counter()
+            found_here = _enumerate_clusters(
+                work, decomposition, backend, level_report, cache=cache
             )
-        else:
-            decomposition = expander_decomposition(
-                work,
-                epsilon=epsilon,
-                phi=phi,
-                mode=mode,
-                seed=rng,
-                backend=backend,
-                fast_path=fast_path,
-                sparse_cut_kwargs=sparse_cut_kwargs,
+            triangles.update(found_here)
+            found_total += len(found_here)
+            levels.append(
+                TriangleLevel(
+                    level=level,
+                    num_vertices=work.num_vertices,
+                    num_edges=work.num_edges,
+                    num_clusters=decomposition.num_components,
+                    triangles_found=len(found_here),
+                    removed_edges=len(removed),
+                    direct=False,
+                    decompose_seconds=round(decompose_seconds, 6),
+                    enumerate_seconds=round(time.perf_counter() - begin, 6),
+                )
             )
-        decompose_seconds = time.perf_counter() - begin
-        level_report.add_child(decomposition.report)
-
-        removed = decomposition.cut_edges
-        if len(removed) >= work.num_edges:
-            # Degenerate decomposition (everything removed): no cluster has
-            # an edge, so recursing would loop on the same instance forever.
-            found_total += _direct_level(level_report, work, level)
-            break
-
-        begin = time.perf_counter()
-        found_here = _enumerate_clusters(
-            work, decomposition, backend, level_report, cache=cache
-        )
-        triangles.update(found_here)
-        found_total += len(found_here)
-        levels.append(
-            TriangleLevel(
-                level=level,
-                num_vertices=work.num_vertices,
-                num_edges=work.num_edges,
-                num_clusters=decomposition.num_components,
-                triangles_found=len(found_here),
-                removed_edges=len(removed),
-                direct=False,
-                decompose_seconds=round(decompose_seconds, 6),
-                enumerate_seconds=round(time.perf_counter() - begin, 6),
-            )
-        )
-        work = Graph(edges=removed)
-        level += 1
+            work = Graph(edges=removed)
+            level += 1
+    finally:
+        if owned_engine:
+            engine.close()
 
     if found_total != len(triangles):
         raise AssertionError(

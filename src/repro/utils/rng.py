@@ -29,6 +29,55 @@ def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
     return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)]
 
 
+def stream_root(seed: SeedLike = None) -> int:
+    """Draw one 64-bit *stream root* from a generator (one draw, then done).
+
+    The root is the only thing a batched computation takes from the shared
+    sequential stream: every task inside it derives its own generator with
+    :func:`split_stream` from the root and a counter-based ``spawn_key``, so
+    the shared generator advances by exactly one draw no matter how many
+    tasks run, in what order, or on how many workers.  This is what makes
+    sequential, 1-worker, and N-worker executions of the same batch consume
+    the caller's stream identically (see :mod:`repro.parallel`).
+    """
+    return int(ensure_rng(seed).integers(0, 1 << 63))
+
+
+def split_stream(root: int, *spawn_key: int) -> np.random.Generator:
+    """Counter-based child stream: a generator keyed by ``(root, spawn_key)``.
+
+    Implemented with :class:`numpy.random.SeedSequence`'s ``spawn_key``
+    mechanism, which hashes ``(entropy, spawn_key)`` into an independent
+    well-mixed stream — the same construction ``seed_seq.spawn`` uses, but
+    *addressed by counters* instead of by spawn order.  Two properties the
+    parallel engine relies on:
+
+    * **Determinism** — the same ``(root, key)`` always yields the same
+      stream, on any process, in any order.  A Nibble instance keyed by
+      ``(batch_index, instance_index)`` therefore draws the same start
+      vertex and truncation scale whether it runs inline, on worker 0, or
+      on worker 7 — scheduling cannot leak into outputs.
+    * **Independence** — distinct keys yield statistically independent
+      streams (SeedSequence's design guarantee), so the batch keeps the
+      "independent RandomNibble instances" semantics the paper's
+      probability argument needs.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=root, spawn_key=tuple(int(k) for k in spawn_key))
+    )
+
+
+def task_stream(root: int, batch_index: int, instance_index: int) -> np.random.Generator:
+    """The canonical per-Nibble-instance stream: keyed by batch and instance.
+
+    A thin, named wrapper over :func:`split_stream` pinning the repository
+    convention that the spawn key is ``(batch_index, instance_index)`` —
+    derived from *what* the task is, never from *where* it runs (worker ids
+    would make outputs scheduling-dependent).
+    """
+    return split_stream(root, batch_index, instance_index)
+
+
 def exponential_shift(rng: np.random.Generator, beta: float) -> float:
     """Sample Exponential(beta) (mean 1/beta), as used by MPX clustering."""
     if beta <= 0:

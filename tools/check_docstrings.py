@@ -22,6 +22,7 @@ from pathlib import Path
 CHECKED_PATHS = [
     "src/repro/nibble",
     "src/repro/decomposition",
+    "src/repro/parallel",
     "src/repro/triangles",
     "src/repro/graphs/csr.py",
     "src/repro/graphs/peel.py",
@@ -32,6 +33,7 @@ CHECKED_PATHS = [
 REQUIRED_DOCS = [
     "README.md",
     "docs/ARCHITECTURE.md",
+    "docs/PARALLEL.md",
     "docs/PEELING.md",
     "docs/TRIANGLES.md",
 ]
