@@ -1,4 +1,8 @@
-"""Diff two ``BENCH_decomposition.json`` reports: speedups and regressions.
+"""Diff two benchmark JSON reports: speedups, regressions, structural drift.
+
+Works on both report kinds the repo emits — ``BENCH_decomposition.json``
+(bench/decompose.py) and ``BENCH_world.json`` (bench/world.py); sections
+absent from either report are simply skipped, so one tool gates both.
 
 Matches the records of every section by family name — and, where records
 carry a ``workers`` field, by ``(family, workers)``, so a 4-worker run is
@@ -42,6 +46,7 @@ TIME_FIELDS = {
     "walk_sweep_comparison": ("dict_time_s", "csr_time_s"),
     "peel_comparison": ("resnapshot_time_s", "peel_time_s"),
     "triangle_cache_results": ("cold_time_s", "warm_time_s"),
+    "world_results": ("wall_time_s",),
 }
 
 #: Structural fields that must match exactly in ``--smoke`` mode.
@@ -51,6 +56,21 @@ STRUCT_FIELDS = {
     "large_results": ("num_components", "certified_fraction", "within_budget"),
     "parallel_scaling": ("num_components", "certified_fraction", "within_budget"),
     "triangle_cache_results": ("triangles", "identical"),
+    # The world sweep's determinism contract: everything but wall time is a
+    # pure function of the world seed, so certification/recall regressions
+    # gate cross-machine exactly like decomposition structure does.
+    "world_results": (
+        "num_vertices",
+        "num_edges",
+        "num_components",
+        "certified_fraction",
+        "within_budget",
+        "congest_rounds",
+        "precheck_skips",
+        "recall",
+        "mean_jaccard",
+        "exact_matches",
+    ),
 }
 
 

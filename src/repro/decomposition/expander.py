@@ -71,6 +71,11 @@ class DecompositionResult:
     num_edges: int
     level_schedule: list[float]
     report: RoundReport = field(default_factory=lambda: RoundReport("expander_decomposition"))
+    #: ParallelNibble batches skipped by the spectral pre-check, summed over
+    #: every level's sparse-cut call (0 with the fast path off).  Determined
+    #: by the decomposition, not the engine, so it is safe to diff across
+    #: machines in the bench smoke gates.
+    precheck_skips: int = 0
 
     @property
     def num_components(self) -> int:
@@ -212,6 +217,7 @@ def expander_decomposition(
         max_depth = recursion_depth_bound(graph.num_vertices)
     components: list[ExpanderComponent] = []
     removed: list[Edge] = []
+    precheck_skips = 0
     # sparse_cut_kwargs may legitimately carry its own "backend",
     # "fast_path", or "executor"; an explicit entry there wins over the
     # decomposition-level default.
@@ -295,6 +301,7 @@ def expander_decomposition(
                 spectral_hint=hint,
                 **cut_kwargs,
             )
+            precheck_skips += cut_result.precheck_skips
 
             split: Optional[frozenset] = None
             if not cut_result.is_empty:
@@ -342,4 +349,5 @@ def expander_decomposition(
         num_edges=graph.num_edges,
         level_schedule=schedule,
         report=report,
+        precheck_skips=precheck_skips,
     )

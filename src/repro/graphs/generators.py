@@ -18,6 +18,7 @@ Every generator takes a ``seed`` (or an already-constructed
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -76,6 +77,8 @@ def star_graph(n: int) -> Graph:
 
 def grid_graph(rows: int, cols: int) -> Graph:
     """rows x cols grid; vertices are ``(r, c)`` tuples."""
+    if rows < 0 or cols < 0:
+        raise ValueError("rows and cols must be non-negative")
     g = Graph(vertices=((r, c) for r in range(rows) for c in range(cols)))
     for r in range(rows):
         for c in range(cols):
@@ -111,6 +114,8 @@ def complete_bipartite_graph(a: int, b: int) -> Graph:
 
 def binary_tree_graph(depth: int) -> Graph:
     """Complete binary tree of the given depth (heap-indexed vertices)."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
     n = (1 << (depth + 1)) - 1
     g = Graph(vertices=range(n))
     for v in range(1, n):
@@ -184,7 +189,15 @@ def barbell_expanders(
     ``bridge_edges / (n_per_side * degree)`` and its balance is 1/2, making
     this the canonical positive instance for the nearly most balanced sparse
     cut algorithm (Theorem 3).
+
+    All ``bridge_edges`` bridges are distinct edges: endpoint pairs that
+    would repeat once ``i % n_per_side`` wraps are shifted to the next free
+    right-side vertex (deterministically, no RNG draw), so the planted cut
+    really has the declared size.  Requires
+    ``bridge_edges <= n_per_side**2``.
     """
+    if bridge_edges > n_per_side * n_per_side:
+        raise ValueError("bridge_edges exceeds the number of distinct cross pairs")
     rng = _rng(seed)
     left = random_regular_graph(n_per_side, degree, rng)
     g = Graph()
@@ -197,8 +210,14 @@ def barbell_expanders(
         g.add_vertex(("R", v))
     for u, v in right.edges():
         g.add_edge(("R", u), ("R", v))
+    seen: set[tuple[int, int]] = set()
     for i in range(bridge_edges):
-        g.add_edge(("L", i % n_per_side), ("R", i % n_per_side))
+        left_i = i % n_per_side
+        right_i = i % n_per_side
+        while (left_i, right_i) in seen:
+            right_i = (right_i + 1) % n_per_side
+        seen.add((left_i, right_i))
+        g.add_edge(("L", left_i), ("R", right_i))
     return g
 
 
@@ -214,7 +233,14 @@ def unbalanced_bridged_expanders(
     The most balanced sparse cut has balance roughly
     ``n_small / (n_small + n_large)``; used to exercise the ``b/2`` branch of
     Theorem 3's balance guarantee.
+
+    As in :func:`barbell_expanders`, bridges are deduplicated by shifting a
+    repeated pair to the next free large-side vertex, so the planted cut has
+    exactly ``bridge_edges`` edges (requires
+    ``bridge_edges <= n_small * n_large``).
     """
+    if bridge_edges > n_small * n_large:
+        raise ValueError("bridge_edges exceeds the number of distinct cross pairs")
     rng = _rng(seed)
     degree_small = min(degree, n_small - 1)
     if n_small * degree_small % 2 == 1:
@@ -232,8 +258,14 @@ def unbalanced_bridged_expanders(
         g.add_vertex(("B", v))
     for u, v in large.edges():
         g.add_edge(("B", u), ("B", v))
+    seen: set[tuple[int, int]] = set()
     for i in range(bridge_edges):
-        g.add_edge(("S", i % n_small), ("B", i % n_large))
+        small_i = i % n_small
+        large_i = i % n_large
+        while (small_i, large_i) in seen:
+            large_i = (large_i + 1) % n_large
+        seen.add((small_i, large_i))
+        g.add_edge(("S", small_i), ("B", large_i))
     return g
 
 
@@ -292,19 +324,40 @@ def planted_partition_graph(
     return g
 
 
-def power_law_graph(n: int, exponent: float = 2.5, seed: SeedLike = None) -> Graph:
+def power_law_graph(
+    n: int,
+    exponent: float = 2.5,
+    seed: SeedLike = None,
+    max_degree: Optional[int] = None,
+) -> Graph:
     """Configuration-model-ish graph with a power-law degree sequence.
 
     Low-degree tails are what the CPZ baseline peels off into its
     low-arboricity part, so this family stresses the difference between the
     paper's decomposition and the baseline.
+
+    ``max_degree`` caps the drawn degree sequence (the degree-skew axis of
+    the world sweep).  With an explicit cap, the parity fix-up bumps the
+    minimum-degree vertex (or drops a stub when every vertex sits at the
+    cap), so no realized degree ever exceeds ``max_degree``.  Without it the
+    historical behavior is preserved bit-for-bit: the implicit cap is
+    ``max(2, n // 4)`` and the parity bump goes to the maximum-degree
+    vertex, which may exceed that implicit cap by one.
     """
+    if max_degree is not None and max_degree < 1:
+        raise ValueError("max_degree must be at least 1")
     rng = _rng(seed)
+    cap = max(2, n // 4) if max_degree is None else max_degree
     degrees = np.clip(
-        np.round(rng.pareto(exponent - 1, size=n) + 1).astype(int), 1, max(2, n // 4)
+        np.round(rng.pareto(exponent - 1, size=n) + 1).astype(int), 1, cap
     )
     if degrees.sum() % 2 == 1:
-        degrees[int(np.argmax(degrees))] += 1
+        if max_degree is None:
+            degrees[int(np.argmax(degrees))] += 1
+        elif int(degrees.min()) < cap:
+            degrees[int(np.argmin(degrees))] += 1
+        else:
+            degrees[int(np.argmax(degrees))] -= 1
     stubs = np.repeat(np.arange(n), degrees)
     rng.shuffle(stubs)
     g = Graph(vertices=range(n))
@@ -368,7 +421,12 @@ def triangle_rich_graph(n: int, p: float = 0.3, seed: SeedLike = None) -> Graph:
     linearly with n — which is exactly what the enumeration workloads want
     to stress, in contrast to the triangle-free ring bridges of
     :func:`ring_of_cliques`.
+
+    Requires ``n >= 3``: planting a triangle needs three distinct vertices
+    (smaller n used to crash inside the random triple draw).
     """
+    if n < 3:
+        raise ValueError("triangle_rich_graph needs at least 3 vertices")
     rng = _rng(seed)
     g = erdos_renyi_graph(n, p, rng)
     planted = max(1, n // 10)
@@ -397,6 +455,167 @@ def relabel_to_integers(graph: Graph) -> tuple[Graph, dict]:
         if loops:
             g.add_self_loops(mapping[v], loops)
     return g, mapping
+
+
+# ----------------------------------------------------------------------
+# metadata-returning variants (ground truth for the world sweep)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlantedStructure:
+    """Ground truth emitted alongside a generated graph.
+
+    The world sweep (:mod:`repro.worlds`) scores decompositions against
+    this: ``communities`` is the planted partition (``None`` for families
+    with no planted structure, e.g. power-law graphs), and
+    ``planted_cut_conductance`` is the worst (largest) conductance over the
+    planted communities measured *exactly on the realized graph* — the
+    sparsity level a decomposition must detect to recover the structure
+    (``None`` when undefined, e.g. a single community).
+    """
+
+    family: str
+    params: dict
+    communities: Optional[tuple[frozenset, ...]]
+    planted_cut_conductance: Optional[float]
+
+    @property
+    def num_communities(self) -> int:
+        """Number of planted communities (0 when there is no planted truth)."""
+        return len(self.communities) if self.communities else 0
+
+
+def _planted_conductance(graph: Graph, communities: Sequence[frozenset]) -> Optional[float]:
+    """Worst planted-community conductance, exactly, or ``None`` if degenerate."""
+    values = [graph.conductance_of_cut(c) for c in communities]
+    finite = [v for v in values if v != float("inf")]
+    if len(finite) != len(values) or not finite:
+        return None
+    return max(finite)
+
+
+def planted_partition_with_metadata(
+    num_communities: int,
+    community_size: int,
+    p_in: float,
+    p_out: float,
+    seed: SeedLike = None,
+) -> tuple[Graph, PlantedStructure]:
+    """:func:`planted_partition_graph` plus its planted ground truth.
+
+    The graph is bit-identical to the plain generator for the same seed;
+    the metadata lists each community's vertex set and the exact worst
+    planted-community conductance of the realized draw.
+    """
+    g = planted_partition_graph(num_communities, community_size, p_in, p_out, seed)
+    communities = tuple(
+        frozenset((c, i) for i in range(community_size))
+        for c in range(num_communities)
+    )
+    return g, PlantedStructure(
+        family="planted_partition",
+        params={
+            "num_communities": num_communities,
+            "community_size": community_size,
+            "p_in": p_in,
+            "p_out": p_out,
+        },
+        communities=communities,
+        planted_cut_conductance=_planted_conductance(g, communities),
+    )
+
+
+def ring_of_cliques_with_metadata(
+    num_cliques: int, clique_size: int
+) -> tuple[Graph, PlantedStructure]:
+    """:func:`ring_of_cliques` plus its planted ground truth (one community per clique)."""
+    g = ring_of_cliques(num_cliques, clique_size)
+    communities = tuple(
+        frozenset((c, i) for i in range(clique_size)) for c in range(num_cliques)
+    )
+    return g, PlantedStructure(
+        family="ring_of_cliques",
+        params={"num_cliques": num_cliques, "clique_size": clique_size},
+        communities=communities,
+        planted_cut_conductance=_planted_conductance(g, communities),
+    )
+
+
+def barbell_expanders_with_metadata(
+    n_per_side: int,
+    degree: int = 8,
+    bridge_edges: int = 1,
+    seed: SeedLike = None,
+) -> tuple[Graph, PlantedStructure]:
+    """:func:`barbell_expanders` plus its planted ground truth (the two sides)."""
+    g = barbell_expanders(n_per_side, degree, bridge_edges, seed)
+    communities = (
+        frozenset(("L", v) for v in range(n_per_side)),
+        frozenset(("R", v) for v in range(n_per_side)),
+    )
+    return g, PlantedStructure(
+        family="barbell_expanders",
+        params={
+            "n_per_side": n_per_side,
+            "degree": degree,
+            "bridge_edges": bridge_edges,
+        },
+        communities=communities,
+        planted_cut_conductance=_planted_conductance(g, communities),
+    )
+
+
+def power_law_with_metadata(
+    n: int,
+    exponent: float = 2.5,
+    seed: SeedLike = None,
+    max_degree: Optional[int] = None,
+) -> tuple[Graph, PlantedStructure]:
+    """:func:`power_law_graph` plus metadata (no planted communities).
+
+    Power-law draws have no planted partition, so ``communities`` is
+    ``None`` — recall is undefined for this family and the sweep records it
+    as such instead of inventing a truth.
+    """
+    g = power_law_graph(n, exponent, seed, max_degree=max_degree)
+    return g, PlantedStructure(
+        family="power_law",
+        params={"n": n, "exponent": exponent, "max_degree": max_degree},
+        communities=None,
+        planted_cut_conductance=None,
+    )
+
+
+def union_of_expanders_with_metadata(
+    num_parts: int,
+    part_size: int,
+    degree: int = 4,
+    bridge_edges: int = 0,
+    seed: SeedLike = None,
+) -> tuple[Graph, PlantedStructure]:
+    """Union of random-regular expanders plus its planted ground truth.
+
+    ``bridge_edges = 0`` is the disconnectedness extreme: the parts are the
+    connected components and the ideal decomposition exactly (worst planted
+    conductance 0.0).  Small positive bridge counts turn it into a sparsely
+    connected multi-community instance.
+    """
+    rng = _rng(seed)
+    parts = [random_regular_graph(part_size, degree, rng) for _ in range(num_parts)]
+    g = union_of_graphs(parts, bridge_edges=bridge_edges, seed=rng)
+    communities = tuple(
+        frozenset((idx, v) for v in range(part_size)) for idx in range(num_parts)
+    )
+    return g, PlantedStructure(
+        family="union_of_expanders",
+        params={
+            "num_parts": num_parts,
+            "part_size": part_size,
+            "degree": degree,
+            "bridge_edges": bridge_edges,
+        },
+        communities=communities,
+        planted_cut_conductance=_planted_conductance(g, communities),
+    )
 
 
 def union_of_graphs(graphs: Sequence[Graph], bridge_edges: int = 0,

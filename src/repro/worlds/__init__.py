@@ -1,0 +1,51 @@
+"""Scenario worlds: sampled synthetic-generator sweeps with ground truth.
+
+Following the GraphWorld methodology, this package samples instances across
+six parameter axes (SBM p/q ratio, power-law exponent, clique size/count,
+bridge density, degree skew, disconnectedness), runs the full
+Nibble → sparse-cut → decomposition pipeline on each, and scores the output
+against the planted structure the generators emit — mapping the parameter
+regimes where the decomposition certifies, recalls, or silently degrades.
+
+``bench/world.py`` is the CLI; the committed ``BENCH_world.json`` is the
+fixed-seed smoke baseline the CI ``world-smoke`` job diffs against.  See
+``docs/WORLDS.md`` for the axes, the metrics, and how to read the
+marginal-effect table.
+"""
+
+from .samplers import ALL_AXES, AXIS_IDS, WorldPoint, realize, sample_point, sample_world
+from .scoring import RECOVERY_THRESHOLD, RecallResult, best_match_jaccard, community_recall, jaccard
+from .summary import DEFAULT_METRICS, format_marginal_table, marginal_effects
+from .sweep import (
+    SMOKE_POINTS_PER_AXIS,
+    SMOKE_WORLD_SEED,
+    TIMING_FIELDS,
+    run_point,
+    run_sweep,
+    strip_timing,
+    summary_text,
+)
+
+__all__ = [
+    "ALL_AXES",
+    "AXIS_IDS",
+    "WorldPoint",
+    "realize",
+    "sample_point",
+    "sample_world",
+    "RECOVERY_THRESHOLD",
+    "RecallResult",
+    "best_match_jaccard",
+    "community_recall",
+    "jaccard",
+    "DEFAULT_METRICS",
+    "format_marginal_table",
+    "marginal_effects",
+    "SMOKE_POINTS_PER_AXIS",
+    "SMOKE_WORLD_SEED",
+    "TIMING_FIELDS",
+    "run_point",
+    "run_sweep",
+    "strip_timing",
+    "summary_text",
+]

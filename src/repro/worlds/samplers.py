@@ -1,0 +1,235 @@
+"""Parameter samplers for the scenario-world sweep (GraphWorld-style).
+
+Each *axis* is one synthetic-generator family with a distribution over its
+parameters; sampling a point draws one parameter vector plus an instance
+seed, and :func:`realize` turns a point into a concrete graph with planted
+ground truth (:class:`repro.graphs.generators.PlantedStructure`).
+
+Determinism is the load-bearing property: point ``(axis, index)`` under
+world seed ``w`` draws from the counter-addressed stream
+``split_stream(w, AXIS_IDS[axis], index)`` (the same construction the
+parallel engine uses for Nibble instances), so the sampled parameter table
+is a pure function of ``(w, axis, index)`` — independent of how many
+points, axes, or processes the sweep runs, and byte-identical across
+re-runs and machines.  Sampled floats are rounded before use so the JSON
+report reproduces exactly.
+
+The six axes map the regimes ROADMAP asked about:
+
+* ``sbm`` — planted partitions over the p_in/p_out ratio (community
+  separability);
+* ``power_law`` — degree-sequence heaviness via the Pareto exponent;
+* ``clique_ring`` — clique size/count of the ideal-decomposition family;
+* ``bridge`` — bridge density between two expanders (planted-cut width);
+* ``skew`` — degree skew via an explicit max-degree cap on power-law
+  draws at fixed exponent;
+* ``disconnected`` — unions of expanders with 0–2 bridges
+  (disconnectedness and near-disconnectedness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.generators import (
+    PlantedStructure,
+    barbell_expanders_with_metadata,
+    planted_partition_with_metadata,
+    power_law_with_metadata,
+    ring_of_cliques_with_metadata,
+    union_of_expanders_with_metadata,
+)
+from ..graphs.graph import Graph
+
+#: Fixed stream addresses per axis: adding or reordering axes must never
+#: change the draws of an existing one, so ids are assigned once, explicitly.
+AXIS_IDS = {
+    "sbm": 0,
+    "power_law": 1,
+    "clique_ring": 2,
+    "bridge": 3,
+    "skew": 4,
+    "disconnected": 5,
+}
+
+#: Canonical axis order for sweeps (insertion order of AXIS_IDS).
+ALL_AXES = tuple(AXIS_IDS)
+
+
+@dataclass(frozen=True)
+class WorldPoint:
+    """One sampled point of the world: an axis, its parameters, and a seed.
+
+    ``params`` is JSON-able (ints and rounded floats only); ``seed`` drives
+    both the generator draw and the decomposition, so a point pins one
+    exact experiment.
+    """
+
+    axis: str
+    index: int
+    params: dict
+    seed: int
+    epsilon: float
+    phi: float
+
+    @property
+    def name(self) -> str:
+        """Stable record identity, e.g. ``sbm[03]`` (the compare.py key)."""
+        return f"{self.axis}[{self.index:02d}]"
+
+
+def _sample_sbm(rng: np.random.Generator) -> tuple[dict, float, float]:
+    """Planted partitions over a log-uniform p_in/p_out ratio in [3, 60]."""
+    num_communities = int(rng.integers(2, 5))
+    community_size = int(rng.integers(8, 17))
+    p_in = round(float(rng.uniform(0.5, 0.9)), 4)
+    pq_ratio = round(float(np.exp(rng.uniform(np.log(3.0), np.log(60.0)))), 2)
+    p_out = round(max(p_in / pq_ratio, 0.002), 4)
+    return (
+        {
+            "num_communities": num_communities,
+            "community_size": community_size,
+            "p_in": p_in,
+            "p_out": p_out,
+            "pq_ratio": pq_ratio,
+        },
+        0.25,
+        0.10,
+    )
+
+
+def _sample_power_law(rng: np.random.Generator) -> tuple[dict, float, float]:
+    """Power-law graphs over the Pareto exponent in [1.8, 3.4]."""
+    n = int(rng.integers(60, 161))
+    exponent = round(float(rng.uniform(1.8, 3.4)), 3)
+    return {"n": n, "exponent": exponent}, 0.30, 0.05
+
+
+def _sample_clique_ring(rng: np.random.Generator) -> tuple[dict, float, float]:
+    """Rings of cliques over clique count [3, 10] and size [3, 10]."""
+    num_cliques = int(rng.integers(3, 11))
+    clique_size = int(rng.integers(3, 11))
+    return {"num_cliques": num_cliques, "clique_size": clique_size}, 0.15, 0.10
+
+
+def _sample_bridge(rng: np.random.Generator) -> tuple[dict, float, float]:
+    """Barbells of expanders over bridge density [1, 10] and side size [12, 40]."""
+    n_per_side = int(rng.integers(12, 41))
+    degree = int(rng.choice(np.array([4, 6, 8])))
+    bridge_edges = int(rng.integers(1, 11))
+    return (
+        {"n_per_side": n_per_side, "degree": degree, "bridge_edges": bridge_edges},
+        0.15,
+        0.10,
+    )
+
+
+def _sample_skew(rng: np.random.Generator) -> tuple[dict, float, float]:
+    """Degree skew: power-law draws under a max-degree cap of [5%, 60%] of n."""
+    n = int(rng.integers(60, 161))
+    cap_fraction = round(float(rng.uniform(0.05, 0.6)), 3)
+    max_degree = max(2, int(cap_fraction * n))
+    return (
+        {"n": n, "cap_fraction": cap_fraction, "max_degree": max_degree},
+        0.30,
+        0.05,
+    )
+
+
+def _sample_disconnected(rng: np.random.Generator) -> tuple[dict, float, float]:
+    """Unions of 4-regular expanders with 0-2 bridges (0 = disconnected)."""
+    num_parts = int(rng.integers(2, 9))
+    part_size = int(rng.integers(6, 17))
+    bridge_edges = int(rng.integers(0, 3))
+    return (
+        {
+            "num_parts": num_parts,
+            "part_size": part_size,
+            "degree": 4,
+            "bridge_edges": bridge_edges,
+        },
+        0.10,
+        0.10,
+    )
+
+
+_SAMPLERS = {
+    "sbm": _sample_sbm,
+    "power_law": _sample_power_law,
+    "clique_ring": _sample_clique_ring,
+    "bridge": _sample_bridge,
+    "skew": _sample_skew,
+    "disconnected": _sample_disconnected,
+}
+
+
+def sample_point(axis: str, index: int, world_seed: int) -> WorldPoint:
+    """Sample point ``index`` of ``axis`` under ``world_seed``, deterministically.
+
+    The draw comes from the counter-addressed stream
+    ``split_stream(world_seed, AXIS_IDS[axis], index)``, so the result is
+    independent of every other point — sampling point 7 alone yields the
+    same parameters as sampling points 0..7 in order.
+    """
+    from ..utils.rng import split_stream
+
+    if axis not in _SAMPLERS:
+        raise ValueError(f"unknown world axis {axis!r} (have {sorted(_SAMPLERS)})")
+    rng = split_stream(world_seed, AXIS_IDS[axis], index)
+    params, epsilon, phi = _SAMPLERS[axis](rng)
+    seed = int(rng.integers(0, 2**31 - 1))
+    return WorldPoint(
+        axis=axis, index=index, params=params, seed=seed, epsilon=epsilon, phi=phi
+    )
+
+
+def sample_world(
+    world_seed: int,
+    points_per_axis: int,
+    axes: tuple[str, ...] = ALL_AXES,
+) -> list[WorldPoint]:
+    """The full sampled parameter table: ``points_per_axis`` points per axis."""
+    return [
+        sample_point(axis, index, world_seed)
+        for axis in axes
+        for index in range(points_per_axis)
+    ]
+
+
+def realize(point: WorldPoint) -> tuple[Graph, PlantedStructure]:
+    """Build the concrete graph (and its ground truth) for one sampled point."""
+    p = point.params
+    if point.axis == "sbm":
+        return planted_partition_with_metadata(
+            p["num_communities"],
+            p["community_size"],
+            p["p_in"],
+            p["p_out"],
+            seed=point.seed,
+        )
+    if point.axis == "power_law":
+        return power_law_with_metadata(p["n"], p["exponent"], seed=point.seed)
+    if point.axis == "clique_ring":
+        return ring_of_cliques_with_metadata(p["num_cliques"], p["clique_size"])
+    if point.axis == "bridge":
+        return barbell_expanders_with_metadata(
+            p["n_per_side"],
+            degree=p["degree"],
+            bridge_edges=p["bridge_edges"],
+            seed=point.seed,
+        )
+    if point.axis == "skew":
+        return power_law_with_metadata(
+            p["n"], 2.5, seed=point.seed, max_degree=p["max_degree"]
+        )
+    if point.axis == "disconnected":
+        return union_of_expanders_with_metadata(
+            p["num_parts"],
+            p["part_size"],
+            degree=p["degree"],
+            bridge_edges=p["bridge_edges"],
+            seed=point.seed,
+        )
+    raise ValueError(f"unknown world axis {point.axis!r}")

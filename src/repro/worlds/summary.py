@@ -1,0 +1,152 @@
+"""Marginal-effect summaries of a world sweep's tabular results.
+
+The sweep emits one record per sampled point; this module answers the
+question the sweep exists for — *along which parameter axes does the
+decomposition degrade?* — with the GraphWorld-style tabular reduction: for
+each axis and each sampled numeric parameter, sort the axis's records by
+that parameter, split them into quantile bins, and report each metric's
+mean per bin plus the low-bin → high-bin delta (the marginal effect).
+
+Everything here is deterministic arithmetic over the records (stable
+sorts, index tiebreaks, fixed rounding), so the summary embedded in
+``BENCH_world.json`` is byte-identical across re-runs of the same sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+#: Metrics summarized per bin, in report order.  ``recall`` may be absent
+#: (families without planted truth); bins average over the records that
+#: have it.
+DEFAULT_METRICS = ("certified_fraction", "recall", "within_budget", "wall_time_s")
+
+#: Number of quantile bins per parameter (low / mid / high).
+DEFAULT_BINS = 3
+
+
+def _chunk(indices: list[int], num_bins: int) -> list[list[int]]:
+    """Split ``indices`` into ``num_bins`` near-equal consecutive chunks.
+
+    Earlier chunks get the remainder (numpy ``array_split`` convention);
+    empty chunks are dropped so tiny tables degrade to fewer bins.
+    """
+    n = len(indices)
+    bins = min(num_bins, n)
+    base, extra = divmod(n, bins)
+    out: list[list[int]] = []
+    start = 0
+    for b in range(bins):
+        size = base + (1 if b < extra else 0)
+        if size:
+            out.append(indices[start : start + size])
+        start += size
+    return out
+
+
+def _mean(values: list[float]) -> Optional[float]:
+    """Mean rounded to 4 places, or ``None`` for an empty list."""
+    if not values:
+        return None
+    return round(sum(values) / len(values), 4)
+
+
+def _metric_values(records: Sequence[dict], metric: str) -> list[float]:
+    """The metric's numeric values over ``records`` (bools as 0/1, None dropped)."""
+    out = []
+    for r in records:
+        v = r.get(metric)
+        if v is None:
+            continue
+        out.append(float(v))
+    return out
+
+
+def marginal_effects(
+    records: Sequence[dict],
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    num_bins: int = DEFAULT_BINS,
+) -> list[dict]:
+    """Per-axis, per-parameter quantile-bin summary of the sweep records.
+
+    Each record must carry ``axis`` (the family), ``params`` (the sampled
+    parameter dict), and the metric fields.  For every axis and every
+    numeric parameter with at least two distinct sampled values, the
+    records are sorted by that parameter (record order breaks ties) and
+    split into ``num_bins`` near-equal bins; the returned row carries each
+    bin's parameter range, count, and metric means, plus
+    ``effect[metric] = mean(last bin) - mean(first bin)``.
+
+    Rows are ordered by axis then parameter name, so the output is stable.
+    """
+    by_axis: dict[str, list[dict]] = {}
+    for record in records:
+        by_axis.setdefault(record["axis"], []).append(record)
+
+    rows: list[dict] = []
+    for axis in sorted(by_axis):
+        axis_records = by_axis[axis]
+        param_keys = sorted(
+            {
+                key
+                for r in axis_records
+                for key, value in r["params"].items()
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+            }
+        )
+        for key in param_keys:
+            usable = [r for r in axis_records if key in r["params"]]
+            if len({r["params"][key] for r in usable}) < 2:
+                continue  # a constant parameter has no marginal effect
+            order = sorted(range(len(usable)), key=lambda i: (usable[i]["params"][key], i))
+            bins = []
+            for chunk in _chunk(order, num_bins):
+                chunk_records = [usable[i] for i in chunk]
+                values = [r["params"][key] for r in chunk_records]
+                bins.append(
+                    {
+                        "lo": min(values),
+                        "hi": max(values),
+                        "count": len(chunk_records),
+                        "means": {
+                            m: _mean(_metric_values(chunk_records, m)) for m in metrics
+                        },
+                    }
+                )
+            effect = {}
+            for m in metrics:
+                first, last = bins[0]["means"][m], bins[-1]["means"][m]
+                effect[m] = (
+                    round(last - first, 4) if first is not None and last is not None else None
+                )
+            rows.append({"axis": axis, "parameter": key, "bins": bins, "effect": effect})
+    return rows
+
+
+def format_marginal_table(
+    rows: Sequence[dict], metrics: Sequence[str] = DEFAULT_METRICS
+) -> str:
+    """Human-readable rendering of :func:`marginal_effects` rows.
+
+    One line per (axis, parameter): each metric's first-bin → last-bin mean
+    with the signed delta, e.g.::
+
+        [sbm] pq_ratio (3.1..58.2, 3 bins): certified_fraction 0.61→1.00 (Δ+0.39) | ...
+    """
+    lines = []
+    for row in rows:
+        bins = row["bins"]
+        cells = []
+        for m in metrics:
+            first, last = bins[0]["means"][m], bins[-1]["means"][m]
+            if first is None or last is None:
+                cells.append(f"{m} n/a")
+                continue
+            delta = row["effect"][m]
+            cells.append(f"{m} {first:.2f}→{last:.2f} (Δ{delta:+.2f})")
+        lines.append(
+            f"[{row['axis']}] {row['parameter']} "
+            f"({bins[0]['lo']}..{bins[-1]['hi']}, {len(bins)} bins): "
+            + " | ".join(cells)
+        )
+    return "\n".join(lines)

@@ -26,6 +26,7 @@ CHECKED_PATHS = [
     "src/repro/triangles",
     "src/repro/graphs/csr.py",
     "src/repro/graphs/peel.py",
+    "src/repro/worlds",
 ]
 
 #: User-facing documents the repository must ship (checked like the README:
@@ -36,6 +37,7 @@ REQUIRED_DOCS = [
     "docs/PARALLEL.md",
     "docs/PEELING.md",
     "docs/TRIANGLES.md",
+    "docs/WORLDS.md",
 ]
 
 
