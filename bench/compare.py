@@ -46,15 +46,19 @@ TIME_FIELDS = {
     "walk_sweep_comparison": ("dict_time_s", "csr_time_s"),
     "peel_comparison": ("resnapshot_time_s", "peel_time_s"),
     "triangle_cache_results": ("cold_time_s", "warm_time_s"),
+    "xl_results": ("build_time_s", "wall_time_s"),
     "world_results": ("wall_time_s",),
 }
 
 #: Structural fields that must match exactly in ``--smoke`` mode.
 STRUCT_FIELDS = {
-    "results": ("num_components", "certified_fraction", "within_budget"),
+    # ``index_dtype`` is deterministic (a pure function of graph size and
+    # the auto policy), so a drifting dtype decision gates like structure.
+    "results": ("num_components", "certified_fraction", "within_budget", "index_dtype"),
     "triangle_results": ("triangles", "cluster_triangles", "cross_triangles", "agreement"),
-    "large_results": ("num_components", "certified_fraction", "within_budget"),
+    "large_results": ("num_components", "certified_fraction", "within_budget", "index_dtype"),
     "parallel_scaling": ("num_components", "certified_fraction", "within_budget"),
+    "xl_results": ("num_components", "certified_fraction", "within_budget", "index_dtype"),
     "triangle_cache_results": ("triangles", "identical"),
     # The world sweep's determinism contract: everything but wall time is a
     # pure function of the world seed, so certification/recall regressions

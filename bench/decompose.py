@@ -37,6 +37,15 @@ Five sections, all emitted into one JSON report
   :class:`~repro.triangles.workload.DecompositionCache`, with
   bit-identical triangle sets asserted and the cold/warm speedup
   recorded.
+* ``xl_results`` (``--xl`` only) — the 10⁷-edge stage: a 2·10⁶-vertex
+  power-law graph built straight into CSR (no dict detour), persisted
+  with :meth:`CSRGraph.to_mmap`, and decomposed entirely from the
+  memory-mapped snapshot, recording build/decompose wall times, the
+  engaged index dtype (int32 at this size), and peak RSS.
+
+Decomposition records additionally carry ``index_dtype`` (the storage
+policy's auto decision for that graph — structural, gated by
+``bench/compare.py --smoke``) and ``peak_rss_mb``.
 
 Usage::
 
@@ -49,11 +58,13 @@ families only, exits non-zero unless every run certifies 100% of its
 components within the ε·m budget, every triangle stage agrees with the
 oriented enumerator, the certification fast path is cut-identical
 to a fast-path-off rerun of every family, *and* the sharded engine is
-cut-identical to the sequential one; ``--workers N`` runs the
-results/large_results sections through the N-worker engine (recorded
-per run — outputs are engine-independent); ``--xl`` adds a 10⁵-vertex
-stage comparison (minutes, dominated by the dict baseline's own runtime —
-which is rather the point).  ``bench/compare.py`` diffs two reports.
+cut-identical to the sequential one, *and* every small family's auto
+dtype decision is int32; ``--workers N`` runs the results/large_results
+sections through the N-worker engine (recorded per run — outputs are
+engine-independent); ``--xl`` adds a 10⁵-vertex stage comparison
+(minutes, dominated by the dict baseline's own runtime — which is
+rather the point) and the 10⁷-edge mmap decomposition above.
+``bench/compare.py`` diffs two reports.
 """
 
 from __future__ import annotations
@@ -61,18 +72,24 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import resource
 import sys
+import tempfile
 import time
 from collections import Counter
+from pathlib import Path
 from typing import Callable, Optional
 
+import numpy as np
+
 from repro.decomposition import expander_decomposition
-from repro.graphs.csr import CSRGraph
+from repro.graphs.csr import CSRGraph, choose_index_dtype
 from repro.graphs.graph import Graph
 from repro.graphs.peel import PeeledCSR
 from repro.graphs.generators import (
     barbell_expanders,
     planted_partition_graph,
+    power_law_csr,
     power_law_graph,
     ring_of_cliques,
 )
@@ -84,6 +101,23 @@ from repro.triangles import (
     decomposition_triangle_enumeration,
 )
 from repro.utils.rng import ensure_rng, sample_by_degree
+
+
+def peak_rss_mb() -> float:
+    """The process's peak resident set size so far, in MB (Linux: KB units)."""
+    return round(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1)
+
+
+def snapshot_index_dtype(graph) -> str:
+    """The index dtype the auto policy picks for this graph's CSR snapshot.
+
+    A pure function of the graph's dimensions, so it gates structurally in
+    smoke mode: every small family must report ``int32`` or the storage
+    layer's dtype decision has drifted.
+    """
+    return np.dtype(
+        choose_index_dtype(graph.num_vertices, 2 * graph.num_edges)
+    ).name
 
 
 def families(seed: int) -> list[tuple[str, Callable[[], Graph], float, float]]:
@@ -291,7 +325,67 @@ def run_family(
         "inter_edge_fraction": result.inter_edge_fraction,
         "within_budget": result.within_budget,
         "congest_rounds": result.report.total_rounds,
+        "index_dtype": snapshot_index_dtype(graph),
+        "peak_rss_mb": peak_rss_mb(),
         "wall_time_s": round(elapsed, 3),
+    }
+
+
+def run_xl_decomposition(seed: int) -> dict:
+    """The 10⁷-edge stage: build a power-law CSR, mmap it, decompose from disk.
+
+    ``power_law_csr(2·10⁶, exponent=2.0)`` yields ≈10⁷ edges (mean degree
+    ~10) without ever materialising a dict graph.  The snapshot is written
+    to a temporary mmap directory, the in-RAM copy is dropped, and the
+    decomposition runs entirely against the memory-mapped host — the
+    configuration :meth:`CSRGraph.from_mmap` exists for.  The record keeps
+    the build and decomposition wall times separate (the generator's stub
+    matching is its own O(m) cost) and carries ``index_dtype`` and
+    ``peak_rss_mb`` so the report shows the int32 policy engaged and the
+    resident set stayed far below the 8-byte-index equivalent.
+    """
+    gc.collect()
+    begin = time.perf_counter()
+    csr = power_law_csr(2_000_000, exponent=2.0, seed=seed)
+    build_s = time.perf_counter() - begin
+    n, m = csr.n, csr.num_edges
+    index_dtype = np.dtype(csr.indices.dtype).name
+    with tempfile.TemporaryDirectory(prefix="bench-xl-") as tmp:
+        path = csr.to_mmap(Path(tmp) / "snapshot")
+        del csr
+        gc.collect()
+        mapped = CSRGraph.from_mmap(path)
+        begin = time.perf_counter()
+        result = expander_decomposition(
+            mapped,
+            epsilon=0.2,
+            phi=0.02,
+            seed=seed,
+            sparse_cut_kwargs={
+                "num_instances": 4,
+                "params_overrides": {"max_t0": 60},
+            },
+            max_depth=4,
+        )
+        wall_s = time.perf_counter() - begin
+    sizes = sorted((len(c) for c in result.components), reverse=True)
+    return {
+        "family": f"power_law_csr({n})",
+        "num_vertices": n,
+        "num_edges": m,
+        "epsilon": 0.2,
+        "phi": 0.02,
+        "seed": seed,
+        "index_dtype": index_dtype,
+        "build_time_s": round(build_s, 3),
+        "wall_time_s": round(wall_s, 3),
+        "num_components": result.num_components,
+        "largest_components": sizes[:5],
+        "certified_fraction": round(result.certified_fraction, 6),
+        "inter_edge_fraction": result.inter_edge_fraction,
+        "within_budget": result.within_budget,
+        "congest_rounds": result.report.total_rounds,
+        "peak_rss_mb": peak_rss_mb(),
     }
 
 
@@ -649,6 +743,7 @@ def main() -> None:
     scaling_records = []
     stage_records = []
     peel_records = []
+    xl_records = []
     if not (args.skip_large or args.smoke):
         for name, builder, epsilon, phi, kwargs in large_families(args.seed):
             graph = builder()
@@ -702,6 +797,19 @@ def main() -> None:
                 for r in family_records
             )
             print(f"[scaling] {name}: {sweep} (decompositions asserted identical)")
+        if args.xl:
+            record = run_xl_decomposition(args.seed)
+            xl_records.append(record)
+            print(
+                f"[xl] {record['family']}: n={record['num_vertices']}, "
+                f"m={record['num_edges']} ({record['index_dtype']} indices, "
+                f"mmap host), build {record['build_time_s']}s, "
+                f"decompose {record['wall_time_s']}s, "
+                f"{record['num_components']} components, "
+                f"certified {record['certified_fraction']:.0%}, "
+                f"budget ok: {record['within_budget']}, "
+                f"peak RSS {record['peak_rss_mb']}MB"
+            )
 
     payload = {
         "benchmark": "expander_decomposition",
@@ -712,6 +820,7 @@ def main() -> None:
         "parallel_scaling": scaling_records,
         "walk_sweep_comparison": stage_records,
         "peel_comparison": peel_records,
+        "xl_results": xl_records,
     }
     if args.smoke:
         # The smoke contract: every small family fully certified, in budget,
@@ -722,6 +831,15 @@ def main() -> None:
             r["family"]
             for r in records
             if r["certified_fraction"] < 1.0 or not r["within_budget"]
+        ]
+        # The storage-policy gate: every small family fits comfortably under
+        # the int32 limit, so the auto dtype decision must pick int32 — a
+        # drift back to int64 here means the policy silently stopped
+        # engaging, halving nothing and doubling everything.
+        broken += [
+            f"{r['family']} (index dtype {r['index_dtype']})"
+            for r in records
+            if r["index_dtype"] != "int32"
         ]
         broken += [
             f"{r['family']} (triangles)"
@@ -737,9 +855,10 @@ def main() -> None:
             print(f"SMOKE FAILED: uncertified or over-budget families: {broken}")
             sys.exit(1)
         print(
-            "smoke passed: all families 100% certified within budget, "
-            "triangle stages agree with the oriented enumerator, fast path, "
-            "sharded engine, and decomposition cache are output-identical"
+            "smoke passed: all families 100% certified within budget on "
+            "int32 snapshots, triangle stages agree with the oriented "
+            "enumerator, fast path, sharded engine, and decomposition cache "
+            f"are output-identical (peak RSS {peak_rss_mb()}MB)"
         )
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)

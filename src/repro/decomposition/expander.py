@@ -154,6 +154,13 @@ def expander_decomposition(
     ----------
     graph:
         The host graph G.  All working graphs are ``G{U}`` relative to it.
+        May be a :class:`~repro.graphs.csr.CSRGraph` snapshot directly — a
+        memory-mapped one included (:meth:`CSRGraph.from_mmap`) — in which
+        case it serves as the shared base for every level's peeled view
+        without any dict materialisation, which is what lets 10⁷-edge
+        graphs decompose without ever holding a dict graph in RAM
+        (``backend`` is then ignored; the run is still bit-identical to a
+        dict-host run of the same graph, as the differential suite pins).
     epsilon:
         Removed-edge budget as a fraction of |E| (reported, and checkable via
         :attr:`DecompositionResult.within_budget`).
@@ -228,9 +235,10 @@ def expander_decomposition(
         **(sparse_cut_kwargs or {}),
     }
     base: Optional[CSRGraph] = None  # one shared snapshot for every CSR level
+    host_is_csr = isinstance(graph, CSRGraph)
 
     stack: list[tuple[frozenset, int, Optional[SpectralCertificate]]] = [
-        (frozenset(graph.vertices()), 0, None)
+        (frozenset(graph.vertices if host_is_csr else graph.vertices()), 0, None)
     ]
     try:
         while stack:
@@ -239,9 +247,12 @@ def expander_decomposition(
                 continue
             view: Optional[PeeledCSR] = None
             work: Optional[Graph] = None
-            if resolve_backend_size(len(subset), cut_kwargs["backend"]) == "csr":
+            if (
+                host_is_csr  # a CSR host has no dict graph to fall back to
+                or resolve_backend_size(len(subset), cut_kwargs["backend"]) == "csr"
+            ):
                 if base is None:
-                    base = CSRGraph.from_graph(graph)
+                    base = graph if host_is_csr else CSRGraph.from_graph(graph)
                 # Deep-recursion subsets are a shrinking fraction of the host:
                 # compact the view once it has halved so walk vectors stay
                 # proportional to the component, not to the original n.

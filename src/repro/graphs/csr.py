@@ -32,7 +32,11 @@ as well.
 
 from __future__ import annotations
 
+import os
+import pickle
+from contextlib import contextmanager
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Optional
 
 import numpy as np
@@ -51,6 +55,81 @@ CSR_AUTO_THRESHOLD = 32
 
 #: The three recognised backend names.
 BACKENDS = ("dict", "csr", "auto")
+
+# ----------------------------------------------------------------------
+# index-width policy (int32 vs int64 CSR arrays)
+# ----------------------------------------------------------------------
+#: Largest value an index array entry may take for the int32 layout to be
+#: chosen: both vertex indices (``indices`` entries, up to ``n - 1``) and
+#: adjacency offsets (``indptr`` entries, up to the directed entry count
+#: ``2m``) must fit.  Module-level on purpose — the boundary tests
+#: monkeypatch it down to exercise the decision edge without building a
+#: 2³¹-entry graph.
+INDEX32_LIMIT = 2**31 - 1
+
+#: The recognised index-width policies: ``"auto"`` picks int32 whenever it
+#: fits (the default), ``"int32"``/``"int64"`` force a width (forcing int32
+#: onto a too-large graph raises :class:`OverflowError`, never wraps).
+INDEX_DTYPE_POLICIES = ("auto", "int32", "int64")
+
+_INDEX_DTYPE_POLICY = os.environ.get("REPRO_INDEX_DTYPE", "auto")
+
+
+def index_dtype_policy() -> str:
+    """The current index-width policy (env ``REPRO_INDEX_DTYPE`` seeds it)."""
+    return _INDEX_DTYPE_POLICY
+
+
+def set_index_dtype_policy(policy: str) -> str:
+    """Set the process-wide index-width policy; returns the previous one."""
+    global _INDEX_DTYPE_POLICY
+    if policy not in INDEX_DTYPE_POLICIES:
+        raise ValueError(
+            f"unknown index dtype policy {policy!r}; expected one of {INDEX_DTYPE_POLICIES}"
+        )
+    previous = _INDEX_DTYPE_POLICY
+    _INDEX_DTYPE_POLICY = policy
+    return previous
+
+
+@contextmanager
+def forced_index_dtype(policy: str):
+    """Scoped index-width policy override (used by the differential matrix)."""
+    previous = set_index_dtype_policy(policy)
+    try:
+        yield
+    finally:
+        set_index_dtype_policy(previous)
+
+
+def choose_index_dtype(
+    num_vertices: int, num_entries: int, policy: Optional[str] = None
+) -> np.dtype:
+    """Pick the index dtype for a snapshot with the given dimensions.
+
+    ``num_entries`` is the number of directed adjacency entries (``2m``);
+    both it and ``num_vertices`` must stay at or below
+    :data:`INDEX32_LIMIT` for the int32 layout.  Under ``policy="int32"``
+    an oversized graph raises :class:`OverflowError` — an explicit guard,
+    because a silently wrapped index array would corrupt every downstream
+    kernel rather than fail loudly.
+    """
+    if policy is None:
+        policy = _INDEX_DTYPE_POLICY
+    if policy not in INDEX_DTYPE_POLICIES:
+        raise ValueError(
+            f"unknown index dtype policy {policy!r}; expected one of {INDEX_DTYPE_POLICIES}"
+        )
+    if policy == "int64":
+        return np.dtype(np.int64)
+    fits = num_vertices <= INDEX32_LIMIT and num_entries <= INDEX32_LIMIT
+    if policy == "int32" and not fits:
+        raise OverflowError(
+            f"int32 index layout forced but the snapshot does not fit: "
+            f"n={num_vertices}, directed entries={num_entries}, "
+            f"limit={INDEX32_LIMIT}"
+        )
+    return np.dtype(np.int32) if fits else np.dtype(np.int64)
 
 
 def resolve_backend_size(num_vertices: int, backend: str) -> str:
@@ -115,6 +194,7 @@ class CSRGraph:
         "vertices",
         "index",
         "_edge_keys",
+        "_ws",
     )
 
     def __init__(
@@ -134,25 +214,87 @@ class CSRGraph:
         self.degree = self.proper_degree + loops
         self.total_volume = int(self.degree.sum())
         self._edge_keys: Optional[np.ndarray] = None
+        self._ws = None
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "CSRGraph":
-        """Snapshot ``graph`` into CSR form (one O(n log n + m) pass)."""
+        """Snapshot ``graph`` into CSR form (one O(n log n + m) pass).
+
+        The index arrays take the width :func:`choose_index_dtype` picks
+        for the snapshot's dimensions (int32 whenever it fits, under the
+        default policy).  ``loops`` — and therefore ``degree`` — stay
+        int64 regardless, so every arithmetic expression downstream of
+        degrees is unchanged by the index width.
+        """
         vertices = sorted(graph.vertices(), key=repr)
         index = {v: i for i, v in enumerate(vertices)}
         counts = np.fromiter(
             (len(graph.neighbors(v)) for v in vertices), dtype=np.int64, count=len(vertices)
         )
-        indptr = np.zeros(len(vertices) + 1, dtype=np.int64)
-        np.cumsum(counts, out=indptr[1:])
-        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        indptr64 = np.zeros(len(vertices) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr64[1:])
+        dtype = choose_index_dtype(len(vertices), int(indptr64[-1]))
+        indptr = indptr64.astype(dtype, copy=False)
+        indices = np.empty(int(indptr64[-1]), dtype=dtype)
         for i, v in enumerate(vertices):
             nbrs = sorted(index[u] for u in graph.neighbors(v))
-            indices[indptr[i] : indptr[i + 1]] = nbrs
+            indices[indptr64[i] : indptr64[i + 1]] = nbrs
         loops = np.fromiter(
             (graph.self_loops(v) for v in vertices), dtype=np.int64, count=len(vertices)
         )
         return cls(indptr, indices, loops, vertices)
+
+    # ------------------------------------------------------------------
+    # memory-mapped snapshots
+    # ------------------------------------------------------------------
+    def to_mmap(self, path) -> Path:
+        """Persist the snapshot as a directory of ``.npy`` files + labels.
+
+        The layout is ``indptr.npy`` / ``indices.npy`` / ``loops.npy``
+        (saved at their in-memory widths, so an int32 snapshot stays
+        int32 on disk) plus ``vertices.pkl``.  :meth:`from_mmap` reopens
+        it with the index arrays memory-mapped, letting decompositions
+        run on graphs whose adjacency does not fit in RAM.
+        """
+        target = Path(path)
+        target.mkdir(parents=True, exist_ok=True)
+        np.save(target / "indptr.npy", self.indptr)
+        np.save(target / "indices.npy", self.indices)
+        np.save(target / "loops.npy", self.loops)
+        with open(target / "vertices.pkl", "wb") as fh:
+            pickle.dump(self.vertices, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        return target
+
+    @classmethod
+    def from_mmap(cls, path) -> "CSRGraph":
+        """Reopen a :meth:`to_mmap` snapshot with memory-mapped arrays.
+
+        ``indptr``/``indices``/``loops`` become read-only ``np.memmap``
+        views paged in on demand; the derived per-vertex arrays
+        (``proper_degree``, ``degree``) are computed into RAM as usual, so
+        every kernel — and the :class:`~repro.graphs.peel.PeeledCSR` and
+        :class:`~repro.parallel.shared.SharedCSR` wrappers — composes
+        unchanged.  The arrays are opened read-only, so an accidental
+        write fails loudly instead of corrupting the snapshot.
+        """
+        source = Path(path)
+        indptr = np.load(source / "indptr.npy", mmap_mode="r")
+        indices = np.load(source / "indices.npy", mmap_mode="r")
+        loops = np.load(source / "loops.npy", mmap_mode="r")
+        with open(source / "vertices.pkl", "rb") as fh:
+            vertices = pickle.load(fh)
+        return cls(indptr, indices, loops, vertices)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices (mirrors ``Graph.num_vertices``)."""
+        return self.n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of proper (non-loop) edges (mirrors ``Graph.num_edges``)."""
+        return len(self.indices) // 2
 
     # ------------------------------------------------------------------
     def neighbors(self, i: int) -> np.ndarray:
@@ -514,3 +656,287 @@ def build_sweep(csr: CSRGraph, mass: SparseMass) -> CSRSweep:
         prefix_volume=prefix_volume,
         prefix_cut=prefix_cut,
     )
+
+
+# ----------------------------------------------------------------------
+# preallocated walk workspace (the PR 8 kernel rewrite)
+# ----------------------------------------------------------------------
+_WORKSPACE_ENABLED = os.environ.get("REPRO_WORKSPACE", "1").lower() not in (
+    "0",
+    "false",
+    "off",
+)
+
+
+def workspace_enabled() -> bool:
+    """Whether walk workspaces are in use (env ``REPRO_WORKSPACE`` seeds it)."""
+    return _WORKSPACE_ENABLED
+
+
+def set_workspace_enabled(enabled: bool) -> bool:
+    """Toggle workspace kernels process-wide; returns the previous setting."""
+    global _WORKSPACE_ENABLED
+    previous = _WORKSPACE_ENABLED
+    _WORKSPACE_ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def forced_workspace(enabled: bool):
+    """Scoped workspace toggle (the differential matrix runs both arms)."""
+    previous = set_workspace_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_workspace_enabled(previous)
+
+
+# Optional jitted scatter-add seam.  The jitted loop accumulates strictly
+# sequentially in input order — the same order ``np.bincount`` uses — so
+# turning the flag on cannot change a single bit of any walk vector.  The
+# flag defaults off and falls back silently when numba is not installed;
+# the pure-numpy path is the oracle either way.
+_NUMBA_SCATTER = None
+if os.environ.get("REPRO_NUMBA", "0").lower() in ("1", "true", "on"):  # pragma: no cover
+    try:
+        import numba as _numba
+
+        @_numba.njit(cache=True)
+        def _numba_scatter(ids, weights, out):
+            for k in range(ids.shape[0]):
+                out[ids[k]] += weights[k]
+
+        _NUMBA_SCATTER = _numba_scatter
+    except Exception:
+        _NUMBA_SCATTER = None
+
+
+def scatter_add(ids: np.ndarray, weights: np.ndarray, size: int) -> np.ndarray:
+    """Sum ``weights`` into a zero vector of ``size`` slots at ``ids``.
+
+    Sequential in input order (for each slot, contributions arrive in the
+    order they appear in ``ids``) on both the ``np.bincount`` default path
+    and the optional numba path, which is exactly the accumulation-order
+    contract the dict↔CSR bit-identity rests on.
+    """
+    if _NUMBA_SCATTER is not None:  # pragma: no cover - numba not in CI image
+        out = np.zeros(size)
+        _NUMBA_SCATTER(np.ascontiguousarray(ids, dtype=np.int64), weights, out)
+        return out
+    return np.bincount(ids, weights=weights, minlength=size)
+
+
+_EMPTY_IDX = np.empty(0, dtype=np.int64)
+_EMPTY_VALS = np.empty(0)
+
+
+class WalkWorkspace:
+    """Reusable scratch state making walk + sweep kernels allocation-lean.
+
+    The dense kernels above are O(n) *per step* even when the truncated
+    support has a handful of vertices: ``lazy_walk_step`` materialises a
+    length-``n`` result and scans it (``flatnonzero``), ``truncate`` copies
+    and thresholds length-``n`` vectors, and ``prefix_cut_profile`` fills a
+    length-``n`` position array per sweep.  On deep-recursion components
+    (tiny alive sets inside a 10⁴-vertex base) those O(n) passes dominate
+    the whole decomposition.  A workspace replaces them with sparse
+    kernels that touch only the support:
+
+    * :meth:`truncated_step` maps a :data:`SparseMass` directly to the next
+      :data:`SparseMass` — union support via ``np.unique``, incoming shares
+      scattered into compacted slots by :func:`scatter_add`, retained mass
+      added, truncation threshold applied — with zero length-``n`` work;
+    * :meth:`build_sweep` reuses one persistent position array (sentinel
+      ``n``, set/reset O(support) per sweep) instead of ``np.full(n, ...)``;
+    * one *gather cache* serves both: the sweep of p̃_t and the walk step to
+      p̃_{t+1} gather the adjacency of the same row set (the positive-mass,
+      positive-degree support), so each time step pays for at most one
+      ``flat_adjacency`` call — and none once the support stabilises.
+
+    Bit-identity with the dense kernels is by construction, not tolerance:
+    every float expression is evaluated element-restricted but otherwise
+    verbatim, and the scatter accumulates per-target contributions in the
+    same ascending-source order as ``np.bincount`` over the dense vector,
+    so each partial-sum sequence — and therefore each IEEE result — is
+    identical.  ``tests/differential`` pins this across the whole backend
+    matrix.
+
+    A workspace belongs to one :class:`CSRGraph` snapshot or one
+    :class:`~repro.graphs.peel.PeeledCSR` view; views invalidate theirs on
+    ``peel`` (the alive mask and residual loops change the kernels'
+    inputs).  Obtain one with :func:`get_workspace`.
+    """
+
+    __slots__ = (
+        "graph",
+        "_pos",
+        "_rows",
+        "_row_id",
+        "_flat",
+        "_active",
+        "_out_support",
+        "_scatter_ids",
+        "_keep_pos",
+        "_deg_support",
+    )
+
+    def __init__(self, graph) -> None:
+        self.graph = graph
+        self._pos = np.full(graph.n, graph.n, dtype=np.int64)
+        self._rows: Optional[np.ndarray] = None
+        self._row_id: Optional[np.ndarray] = None
+        self._flat: Optional[np.ndarray] = None
+        self._active: Optional[np.ndarray] = None
+        self._out_support: Optional[np.ndarray] = None
+        self._scatter_ids: Optional[np.ndarray] = None
+        self._keep_pos: Optional[np.ndarray] = None
+        self._deg_support: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def _gather(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``flat_adjacency(rows)`` through the one-entry content cache."""
+        if (
+            self._rows is not None
+            and self._rows.size == rows.size
+            and np.array_equal(self._rows, rows)
+        ):
+            return self._row_id, self._flat
+        row_id, flat = self.graph.flat_adjacency(rows)
+        self._rows = rows
+        self._row_id = row_id
+        self._flat = flat
+        return row_id, flat
+
+    # ------------------------------------------------------------------
+    def truncated_step(self, mass: SparseMass, epsilon: float) -> SparseMass:
+        """One truncated lazy walk step, sparse in and sparse out.
+
+        Produces bit-for-bit the :func:`sparsify` of
+        ``truncate(lazy_walk_step(dense(mass)))`` — see the class docstring
+        for the accumulation-order argument.
+        """
+        g = self.graph
+        active, vals = mass
+        if active.size == 0:
+            return _EMPTY_IDX, _EMPTY_VALS
+        deg = g.degree[active]
+        zero = deg == 0
+        safe = np.where(zero, 1, deg)
+        keep = np.where(zero, vals, vals * (0.5 + (0.5 * g.loops[active]) / safe))
+        nz = active[~zero]
+        if nz.size:
+            share = vals[~zero] / (2.0 * deg[~zero])
+            row_id, flat = self._gather(nz)
+        else:
+            share = _EMPTY_VALS
+            row_id = flat = _EMPTY_IDX
+        if (
+            self._active is not None
+            and self._active.size == active.size
+            and np.array_equal(self._active, active)
+        ):
+            out_support = self._out_support
+            scatter_ids = self._scatter_ids
+            keep_pos = self._keep_pos
+            deg_support = self._deg_support
+        else:
+            if flat.size:
+                out_support = np.unique(np.concatenate((active, flat)))
+            else:
+                out_support = active
+            scatter_ids = (
+                np.searchsorted(out_support, flat) if flat.size else _EMPTY_IDX
+            )
+            keep_pos = np.searchsorted(out_support, active)
+            deg_support = g.degree[out_support]
+            self._active = active
+            self._out_support = out_support
+            self._scatter_ids = scatter_ids
+            self._keep_pos = keep_pos
+            self._deg_support = deg_support
+        if flat.size:
+            out = scatter_add(scatter_ids, share[row_id], len(out_support))
+        else:
+            out = np.zeros(len(out_support))
+        out[keep_pos] += keep
+        kept = (out >= 2.0 * epsilon * deg_support) & (out != 0.0)
+        return out_support[kept], out[kept]
+
+    # ------------------------------------------------------------------
+    def walk_iter(self, start: int, steps: int, epsilon: float):
+        """Lazily yield p̃_0, ..., p̃_steps; the workspace twin of
+        :func:`truncated_walk_iter` (same vectors, same early stop)."""
+        g = self.graph
+        alive = getattr(g, "alive", None)
+        if alive is not None:
+            if not alive[start]:
+                raise KeyError(f"start index {start!r} is peeled")
+        elif not 0 <= start < g.n:
+            raise KeyError(f"start index {start!r} not in graph")
+        mass: SparseMass = (
+            np.array([start], dtype=np.int64),
+            np.array([1.0]),
+        )
+        yield mass
+        for _ in range(steps):
+            mass = self.truncated_step(mass, epsilon)
+            yield mass
+            if mass[0].size == 0:
+                return
+
+    # ------------------------------------------------------------------
+    def build_sweep(self, mass: SparseMass) -> CSRSweep:
+        """Sweep statistics of ``mass``, equal to :func:`build_sweep`.
+
+        All prefix statistics are integer arithmetic, so sharing the
+        ascending-row gather with the walk step (instead of gathering in
+        sweep order) changes nothing: the per-position neighbor counts are
+        permuted with ``pos``/``invperm``, which is exact.
+        """
+        g = self.graph
+        idx, vals = mass
+        deg = g.degree[idx]
+        keepmask = (vals > 0) & (deg > 0)
+        idx = idx[keepmask]
+        vals = vals[keepmask]
+        rho = vals / g.degree[idx]
+        perm = np.lexsort((idx, -rho))
+        order = idx[perm]
+        jmax = len(order)
+        prefix_volume = np.zeros(jmax + 1, dtype=np.int64)
+        np.cumsum(g.degree[order], out=prefix_volume[1:])
+        row_id, flat = self._gather(idx)
+        pos = self._pos
+        pos[order] = np.arange(jmax, dtype=np.int64)
+        delta = g.proper_degree[order].astype(np.int64)
+        if flat.size:
+            sweep_row = pos[idx][row_id]
+            earlier = pos[flat] < sweep_row
+            delta -= 2 * np.bincount(sweep_row[earlier], minlength=jmax).astype(np.int64)
+        pos[order] = g.n
+        prefix_cut = np.zeros(jmax + 1, dtype=np.int64)
+        np.cumsum(delta, out=prefix_cut[1:])
+        return CSRSweep(
+            order=order,
+            rho=rho[perm],
+            total_volume=g.total_volume,
+            prefix_volume=prefix_volume,
+            prefix_cut=prefix_cut,
+        )
+
+
+def get_workspace(graph) -> Optional[WalkWorkspace]:
+    """The graph's cached :class:`WalkWorkspace`, or ``None`` when disabled.
+
+    Lazily created and memoised on the snapshot/view (``_ws``); callers
+    treat ``None`` as "use the dense kernels", so flipping
+    :func:`set_workspace_enabled` swaps engines without touching call
+    sites.
+    """
+    if not _WORKSPACE_ENABLED:
+        return None
+    ws = graph._ws
+    if ws is None:
+        ws = WalkWorkspace(graph)
+        graph._ws = ws
+    return ws

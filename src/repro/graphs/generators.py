@@ -368,6 +368,70 @@ def power_law_graph(
     return g
 
 
+def power_law_csr(
+    n: int,
+    exponent: float = 2.5,
+    seed: SeedLike = None,
+    max_degree: Optional[int] = None,
+) -> "CSRGraph":
+    """:func:`power_law_graph` built straight into a CSR snapshot.
+
+    Same RNG recipe, draw for draw (degree sequence, parity fix-up, stub
+    shuffle, consecutive pairing, self-pairs dropped, parallel pairs
+    collapsed), so for any seed the edge *set* equals the dict generator's
+    — ``tests`` pin ``to_graph()`` equality — but the construction is pure
+    numpy: no Python per-edge loop and no dict graph, which is what makes
+    ~10⁷-edge instances buildable in seconds for the ``--xl`` benchmark.
+
+    The one deliberate difference: vertices are indexed in *numeric* order
+    (labels are ``0 .. n-1``), not the ``repr``-sorted order
+    :meth:`CSRGraph.from_graph` uses.  Numeric order is self-consistent for
+    everything a CSR-hosted decomposition does; only the dict↔CSR
+    tie-break parity depends on ``repr`` order, and a snapshot at this
+    scale never has a dict twin.
+    """
+    from .csr import CSRGraph, choose_index_dtype
+
+    if max_degree is not None and max_degree < 1:
+        raise ValueError("max_degree must be at least 1")
+    rng = _rng(seed)
+    cap = max(2, n // 4) if max_degree is None else max_degree
+    degrees = np.clip(
+        np.round(rng.pareto(exponent - 1, size=n) + 1).astype(int), 1, cap
+    )
+    if degrees.sum() % 2 == 1:
+        if max_degree is None:
+            degrees[int(np.argmax(degrees))] += 1
+        elif int(degrees.min()) < cap:
+            degrees[int(np.argmin(degrees))] += 1
+        else:
+            degrees[int(np.argmax(degrees))] -= 1
+    stubs = np.repeat(np.arange(n), degrees)
+    rng.shuffle(stubs)
+    pairs = (len(stubs) // 2) * 2
+    u = stubs[0:pairs:2].astype(np.int64)
+    v = stubs[1:pairs:2].astype(np.int64)
+    proper = u != v
+    u, v = u[proper], v[proper]
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    keys = np.unique(lo * np.int64(n) + hi)  # collapse parallel pairs
+    lo, hi = keys // n, keys % n
+    src = np.concatenate((lo, hi))
+    dst = np.concatenate((hi, lo))
+    order = np.lexsort((dst, src))
+    counts = np.bincount(src, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    dtype = choose_index_dtype(n, len(src))
+    return CSRGraph(
+        indptr=indptr.astype(dtype, copy=False),
+        indices=dst[order].astype(dtype, copy=False),
+        loops=np.zeros(n, dtype=np.int64),
+        vertices=list(range(n)),
+    )
+
+
 def dumbbell_cliques(clique_size: int, path_length: int) -> Graph:
     """Two cliques connected by a path of the given length.
 

@@ -88,7 +88,15 @@ class PeeledCSR:
         Number of residual proper (alive–alive) edges.
     """
 
-    __slots__ = ("base", "alive", "proper_degree", "loops", "total_volume", "num_edges")
+    __slots__ = (
+        "base",
+        "alive",
+        "proper_degree",
+        "loops",
+        "total_volume",
+        "num_edges",
+        "_ws",
+    )
 
     def __init__(
         self,
@@ -105,6 +113,7 @@ class PeeledCSR:
         self.loops = loops
         self.total_volume = total_volume
         self.num_edges = num_edges
+        self._ws = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -244,6 +253,9 @@ class PeeledCSR:
             idx = idx[self.alive[idx]]
         if idx.size == 0:
             return 0
+        # The alive mask and residual loops are kernel inputs; any cached
+        # walk workspace (gather/scatter caches) would go stale with them.
+        self._ws = None
         self.alive[idx] = False
         row_id, flat = self.base.flat_adjacency(idx)
         boundary = 0
@@ -283,9 +295,10 @@ class PeeledCSR:
         _, flat = self.flat_adjacency(idx)
         indptr = np.zeros(idx.size + 1, dtype=np.int64)
         np.cumsum(self.proper_degree[idx], out=indptr[1:])
+        dtype = csr_kernels.choose_index_dtype(idx.size, int(indptr[-1]))
         base = CSRGraph(
-            indptr=indptr,
-            indices=remap[flat],
+            indptr=indptr.astype(dtype, copy=False),
+            indices=remap[flat].astype(dtype, copy=False),
             loops=self.loops[idx].copy(),
             vertices=[self.base.vertices[int(i)] for i in idx],
         )

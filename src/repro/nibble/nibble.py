@@ -214,6 +214,7 @@ def scan_walk_sequence_csr(
     approximate: bool = False,
     return_first: bool = False,
     stable_steps: Optional[int] = None,
+    workspace: Optional[csr_backend.WalkWorkspace] = None,
 ) -> Optional[NibbleCut]:
     """Vectorized twin of :func:`scan_walk_sequence` for the CSR backend.
 
@@ -234,6 +235,11 @@ def scan_walk_sequence_csr(
     :func:`scan_walk_sequence` — the stop signature (support ordering +
     certified prefix indices) is the same rule in index space, so the two
     backends stop at the same time step for bit-identical walks.
+
+    With ``workspace`` set (a :class:`~repro.graphs.csr.WalkWorkspace` for
+    ``csr``) the sweep uses the preallocated sparse kernel — bit-identical
+    output; its gather cache is shared with a workspace-driven walk so each
+    time step pays for at most one adjacency gather.
     """
     best: Optional[tuple] = None  # ((Φ, -Vol), t, j, cut_size, prefix indices)
     max_fraction = (
@@ -260,7 +266,10 @@ def scan_walk_sequence_csr(
             # scan so the backends break at the same step.
             break
         previous = mass
-        state = csr_backend.build_sweep(csr, mass)
+        if workspace is not None:
+            state = workspace.build_sweep(mass)
+        else:
+            state = csr_backend.build_sweep(csr, mass)
         if state.jmax == 0:
             # All mass sits on zero-degree vertices; the next step repeats
             # this one bit-for-bit and the fixpoint rule above breaks.
@@ -387,7 +396,16 @@ def _run_nibble(
             csr = CSRGraph.from_graph(graph)
         if start not in csr.index:
             raise KeyError(f"start vertex {start!r} not in graph")
-        if isinstance(csr, PeeledCSR):
+        ws = csr_backend.get_workspace(csr)
+        if ws is not None:
+            # Preallocated sparse kernels: same vectors bit-for-bit, no
+            # O(n) per-step work, one shared adjacency gather per step.
+            # walk_iter applies the same peeled-start guard as the masked
+            # wrapper below.
+            sequence = ws.walk_iter(
+                csr.index[start], params.t0, params.epsilon_b(scale)
+            )
+        elif isinstance(csr, PeeledCSR):
             # The guarded masked variant: a peeled view's base index still
             # contains dead vertices, and a walk seeded at one would leak
             # mass through the base adjacency into nonsense cuts.
@@ -406,6 +424,7 @@ def _run_nibble(
             start,
             approximate=approximate,
             stable_steps=stable,
+            workspace=ws,
         )
     sequence = truncated_walk_iter(graph, start, params.t0, params.epsilon_b(scale))
     return scan_walk_sequence(

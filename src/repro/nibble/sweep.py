@@ -9,6 +9,7 @@ prefix conductance incrementally, so a full sweep costs O(Vol(support)).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -158,23 +159,32 @@ def candidate_indices_from_profile(
     produced by both :func:`build_sweep` and the CSR backend's
     :func:`repro.graphs.csr.build_sweep`.  The CSR scan uses its own
     ``searchsorted`` variant
-    (:func:`repro.graphs.csr.candidate_indices_from_volumes`) for speed;
-    the two constructions are semantically identical and are pinned equal
-    by ``tests/test_csr.py``.
+    (:func:`repro.graphs.csr.candidate_indices_from_volumes`) on long
+    sweeps; the two constructions are semantically identical and are pinned
+    equal by ``tests/test_csr.py``.
+
+    Each "largest j with Vol(π̃(1..j)) ≤ (1+φ)·Vol(π̃(1..j_prev))" is found
+    by :func:`bisect.bisect_right` over a plain Python list — the profile
+    is non-decreasing, the elements are exact ints, and int-vs-float
+    comparison in Python is exact, so the result equals the linear scan
+    this replaced while doing O(log jmax) C-level comparisons per
+    candidate instead of O(jmax) interpreted iterations per time step
+    (the single biggest pure-Python cost of the CSR ApproximateNibble on
+    deep-recursion components before PR 8).
     """
     jmax = len(prefix_volume) - 1
     if jmax <= 0:
         return []
+    volumes = (
+        prefix_volume.tolist()
+        if hasattr(prefix_volume, "tolist")
+        else list(prefix_volume)
+    )
     candidates = [1]
     while candidates[-1] < jmax:
         prev = candidates[-1]
-        threshold = (1.0 + phi) * int(prefix_volume[prev])
-        # largest j with prefix volume below the threshold; prefix volumes are
-        # non-decreasing so a linear scan from prev is enough (total work over
-        # the whole candidate construction stays O(jmax)).
-        j = prev
-        while j < jmax and int(prefix_volume[j + 1]) <= threshold:
-            j += 1
+        threshold = (1.0 + phi) * volumes[prev]
+        j = bisect_right(volumes, threshold, lo=prev, hi=jmax + 1) - 1
         nxt = max(prev + 1, j)
         candidates.append(min(nxt, jmax))
     return candidates

@@ -44,7 +44,7 @@ from ..graphs.peel import PeeledCSR
 from ..nibble.nibble import NibbleCut
 from ..nibble.parameters import NibbleParameters
 from .shared import SharedCSR, shared_memory_available
-from .worker import run_nibble_instance, run_sharded_chunk
+from .worker import batch_memo, run_nibble_instance, run_sharded_chunk
 
 #: A batch result: ``(instance_index, scale-or-None, cut-or-None)`` triples,
 #: ascending by instance index.
@@ -78,6 +78,13 @@ def sequential_batch(
     :class:`ShardedExecutor`.  ``task_streams`` defaults to
     :func:`repro.utils.rng.task_stream`; injectable for tests that probe
     the stream keying.
+
+    Duplicate ``(start, scale)`` draws within the batch are answered from a
+    per-batch memo (:func:`repro.parallel.worker.batch_memo`) — exact, not
+    approximate, because the batch's graph is invariant and an instance is
+    deterministic given its draws.  This is what tames the terminal
+    deep-recursion batches on clique chains, where a handful of possible
+    starts meets Θ(log m) instances.
     """
     from ..utils.rng import task_stream
 
@@ -88,6 +95,7 @@ def sequential_batch(
         # start-sampling map once, not once per instance.
         degrees = sorted_degree_map(graph)
     results: BatchResult = []
+    memo = batch_memo()
     for i in range(num_instances):
         scale, cut = run_nibble_instance(
             graph,
@@ -97,6 +105,7 @@ def sequential_batch(
             csr=csr,
             degrees=degrees,
             adaptive=adaptive,
+            memo=memo,
         )
         results.append((i, scale, cut))
     return results

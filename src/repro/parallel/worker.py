@@ -63,6 +63,51 @@ def attached_graph(meta: SharedCSRMeta) -> CSRGraph:
     return handle.graph
 
 
+#: Whether batch runners reuse the cut of an already-seen ``(start, scale)``
+#: draw within one batch.  A Nibble instance is a deterministic function of
+#: (graph, start, scale, params) once its two stream draws are made, and a
+#: batch's graph is invariant by construction (harvest + peel happen after
+#: the batch), so answering a duplicate draw from the memo is exact — not a
+#: heuristic.  Duplicates are common exactly where they hurt: terminal
+#: deep-recursion components (2–5-clique chains) draw a handful of starts
+#: across Θ(log m) instances, so without the memo the batch fan-out re-runs
+#: the same walk almost ``num_instances`` times.  Tests monkeypatch this to
+#: pin that the memo never changes an output.
+BATCH_MEMO_ENABLED = True
+
+
+def batch_memo() -> Optional[dict]:
+    """A fresh per-batch memo dict, or ``None`` when the memo is disabled."""
+    return {} if BATCH_MEMO_ENABLED else None
+
+
+def draw_nibble_instance(
+    graph: "PeeledCSR | object",
+    params: NibbleParameters,
+    stream: np.random.Generator,
+    degrees: Optional[dict] = None,
+) -> tuple[Optional[object], Optional[int]]:
+    """Consume one instance's two stream draws; return ``(start, scale)``.
+
+    The repository's pinned instance protocol: a degree-proportional start
+    draw, then the truncation-scale draw, in that order and nothing else.
+    Returns ``(None, None)`` — no draws consumed — when the graph has no
+    positive-degree vertex.  ``start`` is a vertex *label* on both the
+    peeled and dict paths, so it keys the batch memo uniformly.
+    """
+    if isinstance(graph, PeeledCSR):
+        start_index = graph.sample_start(stream)
+        if start_index is None:
+            return None, None
+        return graph.vertices[start_index], sample_scale(stream, params.ell)
+    if degrees is None:
+        degrees = sorted_degree_map(graph)
+    if not degrees:
+        return None, None
+    start = sample_by_degree(stream, degrees)
+    return start, sample_scale(stream, params.ell)
+
+
 def run_nibble_instance(
     graph: "PeeledCSR | object",
     params: NibbleParameters,
@@ -72,50 +117,49 @@ def run_nibble_instance(
     degrees: Optional[dict] = None,
     adaptive: bool = True,
     report: Optional[RoundReport] = None,
+    memo: Optional[dict] = None,
 ) -> tuple[Optional[int], Optional[NibbleCut]]:
     """One RandomNibble instance on its private ``stream``.
 
     Draws the degree-proportional start and the truncation scale from
-    ``stream`` (exactly two draws, in that order — the repository's pinned
-    instance protocol), then runs ApproximateNibble.  Returns ``(scale,
-    cut)``; ``scale`` is ``None`` when the graph was empty and nothing was
-    drawn, so callers can rebuild exact round accounting from the scales
-    alone (the executors run with ``report=None`` and the *driver* charges
-    rounds — see :meth:`repro.parallel.executor.Executor.run_batch`).
+    ``stream`` via :func:`draw_nibble_instance` (exactly two draws, in that
+    order — the repository's pinned instance protocol), then runs
+    ApproximateNibble.  Returns ``(scale, cut)``; ``scale`` is ``None``
+    when the graph was empty and nothing was drawn, so callers can rebuild
+    exact round accounting from the scales alone (the executors run with
+    ``report=None`` and the *driver* charges rounds — see
+    :meth:`repro.parallel.executor.Executor.run_batch`).
 
     ``degrees`` may carry a prebuilt
     :func:`~repro.graphs.graph.sorted_degree_map` of a dict ``graph`` so a
-    batch pays for it once; it must describe the current graph.
+    batch pays for it once; it must describe the current graph.  ``memo``
+    (see :func:`batch_memo`) short-circuits a duplicate ``(start, scale)``
+    draw with the batch's earlier answer; the stream is consumed either
+    way, so RNG states and round accounting never depend on the memo.
     """
+    start, scale = draw_nibble_instance(graph, params, stream, degrees)
+    if scale is None:
+        return None, None
+    if memo is not None and (start, scale) in memo:
+        return scale, memo[(start, scale)]
     if isinstance(graph, PeeledCSR):
-        start_index = graph.sample_start(stream)
-        if start_index is None:
-            return None, None
-        scale = sample_scale(stream, params.ell)
-        return scale, approximate_nibble(
+        cut = approximate_nibble(
+            graph, start, scale, params, report=report, adaptive=adaptive
+        )
+    else:
+        cut = approximate_nibble(
             graph,
-            graph.vertices[start_index],
+            start,
             scale,
             params,
             report=report,
+            backend=backend,
+            csr=csr,
             adaptive=adaptive,
         )
-    if degrees is None:
-        degrees = sorted_degree_map(graph)
-    if not degrees:
-        return None, None
-    start = sample_by_degree(stream, degrees)
-    scale = sample_scale(stream, params.ell)
-    return scale, approximate_nibble(
-        graph,
-        start,
-        scale,
-        params,
-        report=report,
-        backend=backend,
-        csr=csr,
-        adaptive=adaptive,
-    )
+    if memo is not None:
+        memo[(start, scale)] = cut
+    return scale, cut
 
 
 def run_sharded_chunk(
@@ -151,8 +195,11 @@ def run_sharded_chunk(
         num_edges=int(num_edges),
     )
     out: list[tuple[int, Optional[int], Optional[NibbleCut]]] = []
+    memo = batch_memo()  # per-chunk: nothing may flow between chunks
     for i in instance_indices:
         stream = task_stream(root, batch_index, int(i))
-        scale, cut = run_nibble_instance(view, params, stream, adaptive=adaptive)
+        scale, cut = run_nibble_instance(
+            view, params, stream, adaptive=adaptive, memo=memo
+        )
         out.append((int(i), scale, cut))
     return out

@@ -1,0 +1,13 @@
+"""Make the differential harness (`diffharness.py`) importable by name.
+
+pytest's default rootdir-based import already prepends this directory for
+test modules; doing it explicitly keeps the harness importable under any
+import mode (and from ad-hoc scripts that drive the same matrix).
+"""
+
+import sys
+from pathlib import Path
+
+HERE = str(Path(__file__).resolve().parent)
+if HERE not in sys.path:
+    sys.path.insert(0, HERE)

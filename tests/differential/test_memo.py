@@ -1,0 +1,111 @@
+"""Batch memo on tiny-component chains: fewer walks, identical bits.
+
+Deep-recursion batches on chains of 2–5-cliques draw the same
+``(start, scale)`` pair over and over (a handful of high-degree starts,
+Θ(log m) instances), and before the per-batch memo every duplicate re-ran
+the full walk.  The memo answers duplicates from the batch's earlier
+result — exact, because a batch's graph is invariant and the stream is
+consumed either way.  These tests pin both halves of that claim: the
+short-circuit actually fires (fewer ApproximateNibble executions), and
+nothing about the output, the RNG stream, or the round accounting moves.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from diffharness import decomposition_signature
+from repro.decomposition import expander_decomposition
+from repro.graphs.generators import dumbbell_cliques, ring_of_cliques
+from repro.graphs.graph import Graph
+from repro.parallel import worker
+
+
+def clique_chain(sizes):
+    """A chain of cliques of the given sizes, bridged end to start."""
+    g = Graph()
+    prev = None
+    for ci, size in enumerate(sizes):
+        nodes = [(ci, i) for i in range(size)]
+        for u, v in itertools.combinations(nodes, 2):
+            g.add_edge(u, v)
+        if prev is not None:
+            g.add_edge(prev, nodes[0])
+        prev = nodes[-1]
+    return g
+
+
+CHAIN_SIZES = (3, 2, 4, 5, 2, 3, 4, 2, 5, 3)
+
+
+def run_with_memo(monkeypatch, g, enabled, seed=7):
+    monkeypatch.setattr(worker, "BATCH_MEMO_ENABLED", enabled)
+    rng = np.random.default_rng(seed)
+    result = expander_decomposition(g, 0.2, 0.1, seed=rng)
+    return (
+        decomposition_signature(result),
+        rng.bit_generator.state,
+        result.report.total_rounds,
+    )
+
+
+class TestBatchMemo:
+    def test_helper_respects_flag(self, monkeypatch):
+        monkeypatch.setattr(worker, "BATCH_MEMO_ENABLED", True)
+        assert worker.batch_memo() == {}
+        monkeypatch.setattr(worker, "BATCH_MEMO_ENABLED", False)
+        assert worker.batch_memo() is None
+
+    @pytest.mark.parametrize(
+        "name,graph",
+        [
+            ("clique_chain", clique_chain(CHAIN_SIZES)),
+            ("dumbbell", dumbbell_cliques(5, 4)),
+            ("ring_of_cliques", ring_of_cliques(6, 8)),
+        ],
+        ids=["clique_chain", "dumbbell", "ring_of_cliques"],
+    )
+    def test_memo_is_output_neutral(self, monkeypatch, name, graph):
+        on = run_with_memo(monkeypatch, graph, True)
+        off = run_with_memo(monkeypatch, graph, False)
+        assert on == off, name
+
+    def test_memo_short_circuits_duplicate_draws(self, monkeypatch):
+        """On the clique chain the memo must actually fire: strictly fewer
+        ApproximateNibble executions for the same (identical) output."""
+        g = clique_chain(CHAIN_SIZES)
+        real = worker.approximate_nibble
+        counts = {}
+
+        def counted(*args, **kwargs):
+            counts[flag] = counts.get(flag, 0) + 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(worker, "approximate_nibble", counted)
+        outputs = {}
+        for flag in (True, False):
+            monkeypatch.setattr(worker, "BATCH_MEMO_ENABLED", flag)
+            rng = np.random.default_rng(11)
+            outputs[flag] = decomposition_signature(
+                expander_decomposition(g, 0.2, 0.1, seed=rng)
+            )
+        assert outputs[True] == outputs[False]
+        assert counts[True] < counts[False]
+
+    def test_draw_protocol_is_two_stream_draws(self):
+        """draw_nibble_instance must consume exactly the start draw and the
+        scale draw — the memo's exactness argument leans on this."""
+        from repro.graphs.peel import PeeledCSR
+        from repro.nibble.parameters import NibbleParameters, sample_scale
+
+        g = ring_of_cliques(3, 5)
+        params = NibbleParameters.practical(g, 0.1)
+        view = PeeledCSR.from_graph(g)
+        stream = np.random.default_rng(3)
+        start, scale = worker.draw_nibble_instance(view, params, stream)
+        twin = np.random.default_rng(3)
+        expected_start = view.vertices[view.sample_start(twin)]
+        expected_scale = sample_scale(twin, params.ell)
+        assert (start, scale) == (expected_start, expected_scale)
+        assert stream.bit_generator.state == twin.bit_generator.state

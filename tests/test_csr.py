@@ -4,9 +4,9 @@ The CSR walk engine (`repro.graphs.csr`) promises *bit-identical* results to
 the reference dict backend — same walk vectors, same sweep statistics, same
 certified cuts — because both accumulate floating-point mass in the same
 canonical order.  These tests pin that promise on randomized graphs (the
-property harness ROADMAP asked for) and on every benchmark family, all the
-way up to full expander decompositions run once per backend from a shared
-seed.
+property harness ROADMAP asked for) and on every benchmark family; the
+full-pipeline matrix (decompositions and sparse cuts across every backend
+configuration) lives in ``tests/differential/``.
 """
 
 from __future__ import annotations
@@ -14,7 +14,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.decomposition import expander_decomposition, nearly_most_balanced_sparse_cut
 from repro.graphs import csr as csr_backend
 from repro.graphs.csr import CSR_AUTO_THRESHOLD, CSRGraph, resolve_backend
 from repro.graphs.generators import (
@@ -268,30 +267,7 @@ class TestCutParity:
                 nibble(g, next(iter(g.vertices())), params.ell + 1, params, backend=backend)
 
 
-class TestPipelineParity:
-    def test_sparse_cut_identical_across_backends(self):
-        for name, g in family_graphs():
-            results = [
-                nearly_most_balanced_sparse_cut(g, 0.1, seed=7, backend=backend)
-                for backend in ("dict", "csr")
-            ]
-            assert results[0].cut == results[1].cut, name
-            assert results[0].certified_no_cut == results[1].certified_no_cut
-            assert results[0].batches == results[1].batches
-
-    def test_decomposition_identical_across_backends(self):
-        from collections import Counter
-
-        # Two structurally extreme families (many planted components vs a
-        # ragged power law) keep this integration check affordable;
-        # cut-level parity on all four families is pinned by the two tests
-        # above and asserted again on every bench timing run.
-        for name, g in [family_graphs()[0], family_graphs()[3]]:
-            dict_result = expander_decomposition(g, 0.2, 0.1, seed=7, backend="dict")
-            csr_result = expander_decomposition(g, 0.2, 0.1, seed=7, backend="csr")
-            assert {c.vertices for c in dict_result.components} == {
-                c.vertices for c in csr_result.components
-            }, name
-            assert Counter(frozenset(e) for e in dict_result.cut_edges) == Counter(
-                frozenset(e) for e in csr_result.cut_edges
-            ), name
+# Full-pipeline parity (sparse cuts and decompositions across backends)
+# lives in tests/differential/test_pipeline.py, which drives the complete
+# backend matrix — dict / csr / int32 / int64 / workspace / mmap / fast
+# path — through every generator family via assert_pipeline_identical.

@@ -5,12 +5,10 @@ ParallelNibble batches, batched sibling-component eigensolves, adaptive
 walk budgets, and the triangle workload's decomposition cache — is a pure
 performance layer: every toggle must be output-neutral, bit for bit, on
 every engine.  These tests pin that contract the same way the peel suite
-pins engine parity:
+pins engine parity (the decomposition- and sparse-cut-level on/off parity
+now lives in ``tests/differential/test_pipeline.py``, asserted across the
+full backend matrix):
 
-* decomposition components and removed-edge multisets identical across
-  ``dict`` / ``csr`` / ``auto`` with the fast path on and off;
-* harvested sparse cuts (cut set, conductance, batch count) identical
-  with the fast path on and off;
 * Nibble/ApproximateNibble cuts identical with the adaptive walk budget
   on and off;
 * triangle sets and level records identical with and without a
@@ -20,15 +18,9 @@ pins engine parity:
   exactly, and batch-skipping observable where it must fire.
 """
 
-from collections import Counter
-
 import numpy as np
 import pytest
 
-from repro.decomposition import (
-    expander_decomposition,
-    nearly_most_balanced_sparse_cut,
-)
 from repro.graphs.csr import CSRGraph
 from repro.graphs.generators import (
     barbell_expanders,
@@ -62,100 +54,11 @@ def family_graphs():
     ]
 
 
-def decomposition_signature(result):
-    """Everything output-relevant about one decomposition."""
-    return (
-        {c.vertices for c in result.components},
-        Counter(frozenset(e) for e in result.cut_edges),
-        sorted(
-            (tuple(sorted(map(repr, c.vertices))), c.certified, c.conductance_estimate)
-            for c in result.components
-        ),
-    )
-
-
-class TestDecompositionParity:
-    def test_fast_path_on_off_identical_across_engines(self):
-        # "auto" is exercised by the other parity tests; the dict engine is
-        # the true cross-engine check (csr ≡ auto at these sizes).
-        for name, g in family_graphs():
-            reference = None
-            for fast_path in (True, False):
-                for backend in ("dict", "auto"):
-                    result = expander_decomposition(
-                        g, 0.2, 0.1, seed=7, backend=backend, fast_path=fast_path
-                    )
-                    signature = decomposition_signature(result)
-                    if reference is None:
-                        reference = signature
-                    assert signature == reference, (name, fast_path, backend)
-
-    def test_fast_path_identical_on_larger_ring(self):
-        g = ring_of_cliques(20, 16)
-        kwargs = dict(
-            seed=11,
-            sparse_cut_kwargs={"num_instances": 6, "params_overrides": {"max_t0": 150}},
-        )
-        on = expander_decomposition(g, 0.1, 0.1, fast_path=True, **kwargs)
-        off = expander_decomposition(g, 0.1, 0.1, fast_path=False, **kwargs)
-        assert decomposition_signature(on) == decomposition_signature(off)
-        assert on.certified_fraction == 1.0
-
-    def test_fast_path_default_is_on(self):
-        g = ring_of_cliques(4, 8)
-        default = expander_decomposition(g, 0.1, 0.1, seed=3)
-        explicit = expander_decomposition(g, 0.1, 0.1, seed=3, fast_path=True)
-        assert decomposition_signature(default) == decomposition_signature(explicit)
-
-
-class TestSparseCutParity:
-    def test_sparse_cut_on_off_identical(self):
-        for name, g in family_graphs():
-            for backend in ("dict", "csr"):
-                on = nearly_most_balanced_sparse_cut(
-                    g, 0.1, seed=7, backend=backend, fast_path=True
-                )
-                off = nearly_most_balanced_sparse_cut(
-                    g, 0.1, seed=7, backend=backend, fast_path=False
-                )
-                assert on.cut == off.cut, (name, backend)
-                assert on.conductance == off.conductance
-                assert on.balance == off.balance
-                assert on.cut_size == off.cut_size
-                assert on.certified_no_cut == off.certified_no_cut
-                assert on.batches == off.batches
-
-    def test_precheck_skips_batches_on_expander(self):
-        """On a clique every batch is a guaranteed failure: the pre-check
-        must fire immediately and skip all of them."""
-        g = Graph()
-        for i in range(12):
-            for j in range(i + 1, 12):
-                g.add_edge(i, j)
-        result = nearly_most_balanced_sparse_cut(g, 0.1, seed=5, fast_path=True)
-        assert result.certified_no_cut
-        assert result.precheck_skips == result.batches > 0
-        assert result.spectral is not None and result.spectral.exact
-        off = nearly_most_balanced_sparse_cut(g, 0.1, seed=5, fast_path=False)
-        assert off.precheck_skips == 0
-        assert off.batches == result.batches
-
-    def test_skipped_batches_leave_rng_stream_identical(self):
-        """The burn replays exactly the draws the skipped batches would
-        have made, so a draw taken *after* the call matches on/off."""
-        g = Graph()
-        for i in range(10):
-            for j in range(i + 1, 10):
-                g.add_edge(i, j)
-        states = {}
-        for fast_path in (True, False):
-            rng = ensure_rng(123)
-            result = nearly_most_balanced_sparse_cut(
-                g, 0.1, seed=rng, fast_path=fast_path
-            )
-            assert result.certified_no_cut
-            states[fast_path] = rng.bit_generator.state
-        assert states[True] == states[False]
+# TestDecompositionParity and TestSparseCutParity moved to
+# tests/differential/test_pipeline.py: the fast-path on/off parity they
+# pinned is now asserted across the full backend matrix (dict / csr /
+# int32 / int64 / workspace / mmap) by assert_pipeline_identical, and the
+# clique-specific pre-check cases live on there verbatim.
 
 
 class TestAdaptiveWalkBudget:

@@ -34,6 +34,7 @@ CHECKED_PATHS = [
 REQUIRED_DOCS = [
     "README.md",
     "docs/ARCHITECTURE.md",
+    "docs/KERNELS.md",
     "docs/PARALLEL.md",
     "docs/PEELING.md",
     "docs/TRIANGLES.md",
