@@ -42,7 +42,19 @@ from ..graphs.spectral import (
 )
 from ..nibble.parameters import ParameterMode, h_inverse
 from ..parallel.executor import Executor, resolve_executor
-from ..utils.rng import SeedLike, ensure_rng
+from ..parallel.scheduler import (
+    ComponentScheduler,
+    SubtreeSpec,
+    SubtreeTask,
+    resolve_scheduler,
+)
+from ..utils.rng import (
+    SeedLike,
+    component_stream_key,
+    ensure_rng,
+    split_stream,
+    stream_root,
+)
 from ..utils.rounds import RoundReport
 from .sparse_cut import nearly_most_balanced_sparse_cut
 
@@ -135,6 +147,271 @@ def level_schedule(
     return schedule
 
 
+@dataclass
+class _SubtreeOutcome:
+    """Everything one recursion subtree produces.
+
+    Pool workers pickle this back to the driver (every field is plain
+    data); the driver's merge is a canonical-order concatenation, so the
+    outcome of a subtree group is independent of which engine ran it.
+    """
+
+    components: list[ExpanderComponent] = field(default_factory=list)
+    cut_edges: list[Edge] = field(default_factory=list)
+    #: Flat list of per-level :class:`RoundReport`\ s in canonical DFS
+    #: order; the driver re-attaches them to the run's top report.
+    reports: list[RoundReport] = field(default_factory=list)
+    precheck_skips: int = 0
+
+    def absorb(self, child: "_SubtreeOutcome") -> None:
+        """Append a child subtree's outcome (children arrive in canonical order)."""
+        self.components.extend(child.components)
+        self.cut_edges.extend(child.cut_edges)
+        self.reports.extend(child.reports)
+        self.precheck_skips += child.precheck_skips
+
+
+@dataclass
+class _SubtreeContext:
+    """The run-wide recursion state shared by every subtree of one run.
+
+    ``root`` is the single stream root drawn from the caller's generator;
+    ``scheduler`` decides where sibling subtrees execute; ``base`` is the
+    lazily-created CSR snapshot every peeled view restricts (mutated in
+    place on first need, exactly like the old driver's local).
+    """
+
+    graph: object
+    host_is_csr: bool
+    phi: float
+    mode: ParameterMode
+    schedule: list[float]
+    max_depth: int
+    cut_kwargs: dict
+    root: int
+    scheduler: ComponentScheduler
+    base: Optional[CSRGraph] = None
+
+    def spec(self) -> Optional[SubtreeSpec]:
+        """The dispatch spec for pool schedulers (``None`` without a base).
+
+        The shipped ``cut_kwargs`` replace the driver's executor with
+        ``None``: worker-side batches run on the sequential engine —
+        workers never nest pools — and the stream discipline makes that
+        invisible to every output.
+        """
+        if self.base is None:
+            return None
+        return SubtreeSpec(
+            base=self.base,
+            phi=self.phi,
+            mode=self.mode,
+            schedule=tuple(self.schedule),
+            max_depth=self.max_depth,
+            cut_kwargs={**self.cut_kwargs, "executor": None},
+            root=self.root,
+        )
+
+
+def _run_children(
+    ctx: _SubtreeContext, outcome: _SubtreeOutcome, tasks: list[SubtreeTask]
+) -> _SubtreeOutcome:
+    """Run sibling subtrees through the scheduler; merge in task order.
+
+    ``tasks`` arrive in canonical (ascending smallest-``repr``) order and
+    the scheduler returns outcomes positionally, so the merged component,
+    cut-edge, and report order is the same whether the siblings ran
+    inline, permuted, or on pool workers.
+    """
+    children = ctx.scheduler.run_siblings(
+        tasks,
+        lambda task: _decompose_subtree(ctx, task.subset, task.depth, task.hint),
+        spec=ctx.spec(),
+    )
+    for child in children:
+        outcome.absorb(child)
+    return outcome
+
+
+def _decompose_subtree(
+    ctx: _SubtreeContext,
+    subset: frozenset,
+    depth: int,
+    hint: Optional[SpectralCertificate] = None,
+) -> _SubtreeOutcome:
+    """Decompose one component subtree; the recursive heart of Theorem 1.
+
+    Pure in ``(ctx-parameters, subset, depth, hint)``: the searched node's
+    randomness comes from ``split_stream(ctx.root, depth,
+    component_stream_key(subset))`` rather than a threaded generator, so
+    sibling subtrees can run in any order, on any process, and still
+    produce these exact bits.  Python-frame depth stays ~4 frames per tree
+    level and at most two tree levels per recursion depth (a disconnected
+    subset splits into connected pieces at the same depth, and connected
+    pieces either cut — descending a depth — or terminate), so the
+    ``max_depth`` bound of 2⌈log₂n⌉ + 2 keeps the recursion far under the
+    interpreter limit even at n = 10⁷.
+    """
+    outcome = _SubtreeOutcome()
+    if not subset:
+        return outcome
+    view: Optional[PeeledCSR] = None
+    work: Optional[Graph] = None
+    if (
+        ctx.host_is_csr  # a CSR host has no dict graph to fall back to
+        or resolve_backend_size(len(subset), ctx.cut_kwargs["backend"]) == "csr"
+    ):
+        if ctx.base is None:
+            ctx.base = (
+                ctx.graph if ctx.host_is_csr else CSRGraph.from_graph(ctx.graph)
+            )
+        # Deep-recursion subsets are a shrinking fraction of the host:
+        # compact the view once it has halved so walk vectors stay
+        # proportional to the component, not to the original n.
+        view = maybe_compact(
+            PeeledCSR.for_subset(ctx.base, (ctx.base.index[v] for v in subset))
+        )
+    else:
+        work = ctx.graph.induced_with_loops(subset)
+    target: "Graph | PeeledCSR" = view if view is not None else work
+
+    if len(subset) == 1 or target.num_edges == 0:
+        # Isolated vertices (all their degree is self loops) are vacuously
+        # φ-expanders: they admit no cut at all.  repr-sorted so the
+        # component order is canonical on every process.
+        for v in sorted(subset, key=repr):
+            outcome.components.append(
+                ExpanderComponent(frozenset([v]), True, float("inf"), depth)
+            )
+        return outcome
+
+    pieces = target.connected_components()
+    if len(pieces) > 1:
+        # Splitting along existing components removes no edges.  The
+        # canonical piece order (ascending smallest ``repr``, which the
+        # peeled view produces natively) keeps the merge — and with it the
+        # output ordering — identical across engines.
+        pieces.sort(key=lambda piece: min(map(repr, piece)))
+        if ctx.cut_kwargs["fast_path"] and view is not None:
+            # Batch the sibling components' spectral solves: one stacked
+            # eigh per size class instead of one dispatch per future
+            # pre-check.  Each hint is bit-identical to the solo solve, so
+            # downstream decisions are unchanged.
+            hints = batched_component_certificates(view, pieces)
+        else:
+            hints = [None] * len(pieces)
+        tasks = [
+            SubtreeTask(frozenset(piece), depth, piece_hint)
+            for piece, piece_hint in zip(pieces, hints)
+        ]
+        return _run_children(ctx, outcome, tasks)
+
+    if depth >= ctx.max_depth:
+        certified, estimate, _ = certify_conductance(
+            target, ctx.phi, precomputed=hint
+        )
+        outcome.components.append(
+            ExpanderComponent(frozenset(subset), certified, estimate, depth)
+        )
+        return outcome
+
+    # Section 2's parameter chain; PRACTICAL floors the search at φ so
+    # deep levels keep finding the cuts the certification target demands.
+    theta = ctx.schedule[min(depth, len(ctx.schedule) - 1)]
+    search_phi = theta if ctx.mode is ParameterMode.PAPER else max(theta, ctx.phi)
+    level_report = RoundReport(f"level {depth} (n={len(subset)})")
+    cut_result = nearly_most_balanced_sparse_cut(
+        target,
+        search_phi,
+        mode=ctx.mode,
+        seed=split_stream(ctx.root, depth, component_stream_key(subset)),
+        report=level_report,
+        spectral_hint=hint,
+        **ctx.cut_kwargs,
+    )
+    outcome.reports.append(level_report)
+    outcome.precheck_skips += cut_result.precheck_skips
+
+    split: Optional[frozenset] = None
+    if not cut_result.is_empty:
+        split = cut_result.cut
+    else:
+        # Authoritative final check, straight off the working view on
+        # the CSR path (no dict G{U} rebuild); an exact certificate the
+        # fast path already computed for this very graph is reused.
+        certified, estimate, witness = certify_conductance(
+            target, ctx.phi, precomputed=cut_result.spectral or hint
+        )
+        if certified:
+            outcome.components.append(
+                ExpanderComponent(frozenset(subset), True, estimate, depth)
+            )
+            return outcome
+        # Nibble certified "no cut" but the spectral check disagrees:
+        # split on the check's own witness cut so a missed sparse cut
+        # cannot silently produce an uncertified component.
+        if witness and len(witness) < len(subset):
+            level_report.subreport("fallback_split").charge(target.num_vertices)
+            split = frozenset(witness)
+        else:
+            outcome.components.append(
+                ExpanderComponent(frozenset(subset), False, estimate, depth)
+            )
+            return outcome
+
+    rest = frozenset(subset - split)
+    if view is not None:
+        outcome.cut_edges.extend(view.cut_edges(view.indices_of(split)))
+    else:
+        outcome.cut_edges.extend(work.cut_edges(split))
+    sides = sorted(
+        (side for side in (frozenset(split), rest) if side),
+        key=lambda side: min(map(repr, side)),
+    )
+    tasks = [SubtreeTask(side, depth + 1, None) for side in sides]
+    return _run_children(ctx, outcome, tasks)
+
+
+def decompose_subtree_on_base(
+    base: CSRGraph,
+    subset_indices,
+    depth: int,
+    hint: Optional[SpectralCertificate],
+    phi: float,
+    mode: ParameterMode,
+    schedule,
+    max_depth: int,
+    cut_kwargs: dict,
+    root: int,
+) -> _SubtreeOutcome:
+    """One recursion subtree against a host snapshot: the pool-worker body.
+
+    :func:`repro.parallel.worker.run_subtree` calls this with the
+    rehydrated shared-memory ``base``; ``subset_indices`` are base vertex
+    indices (labels are not shipped — the snapshot already carries them).
+    Runs the exact :func:`_decompose_subtree` recursion with the inline
+    scheduler and sequential batches, so the returned outcome is
+    bit-identical to the driver decomposing the same subtree itself.
+    """
+    from ..parallel.scheduler import INLINE
+
+    labels = base.vertices
+    subset = frozenset(labels[int(i)] for i in subset_indices)
+    ctx = _SubtreeContext(
+        graph=base,
+        host_is_csr=True,
+        phi=phi,
+        mode=mode,
+        schedule=list(schedule),
+        max_depth=max_depth,
+        cut_kwargs=dict(cut_kwargs),
+        root=root,
+        scheduler=INLINE,
+        base=base,
+    )
+    return _decompose_subtree(ctx, subset, depth, hint)
+
+
 def expander_decomposition(
     graph: Graph,
     epsilon: float,
@@ -147,6 +424,7 @@ def expander_decomposition(
     fast_path: bool = True,
     executor: Optional[Executor] = None,
     workers: Optional[int] = None,
+    scheduler: Optional[ComponentScheduler] = None,
 ) -> DecompositionResult:
     """Decompose ``graph`` into φ-expander components, removing ≤ ε·m edges.
 
@@ -204,17 +482,28 @@ def expander_decomposition(
         straight off the peeled view on the CSR path (no dict ``G{U}``
         rebuild) regardless of this flag.
     executor, workers:
-        Execution engine for the ParallelNibble batches of every level
-        (:mod:`repro.parallel`).  ``workers`` > 1 creates one
+        Execution engine (:mod:`repro.parallel`), now used at *two* levels:
+        every level's ParallelNibble batches, and — through the component
+        scheduler it implies — whole sibling subtrees of the recursion.
+        ``workers`` > 1 creates one
         :class:`~repro.parallel.executor.ShardedExecutor` — one process
         pool, one shared snapshot per base — amortised over the whole
         recursion and closed on return; an explicit ``executor`` is used
-        as-is and left open for its owner.  The engine is output-invisible:
-        every level's batch randomness is counter-addressed, so the
-        decomposition (clusters, cut edges, reports, RNG stream) is
+        as-is and left open for its owner (passing both raises
+        :class:`ValueError`).  The engine is output-invisible: batch
+        randomness is counter-addressed by ``(root, batch, instance)`` and
+        component randomness by ``(root, depth, component_stream_key)``,
+        so the decomposition (clusters, cut edges, reports, RNG stream) is
         identical for sequential, 1-worker, and N-worker runs, and
-        degradation (no shared memory) falls back to sequential with one
-        warning.
+        degradation (no shared memory, a broken pool) falls back to
+        sequential with one warning.  The call draws exactly one stream
+        root from ``seed`` — however deep the recursion, however many
+        batches run.
+    scheduler:
+        Explicit :class:`~repro.parallel.scheduler.ComponentScheduler`
+        override for sibling-subtree execution (default: the scheduler the
+        resolved engine implies — pooled for a sharded executor, inline
+        otherwise).  The testing seam for scheduling-invariance suites.
     """
     rng = ensure_rng(seed)
     engine, owned_engine = resolve_executor(executor, workers)
@@ -222,9 +511,6 @@ def expander_decomposition(
     schedule = level_schedule(phi, graph.num_vertices, mode)
     if max_depth is None:
         max_depth = recursion_depth_bound(graph.num_vertices)
-    components: list[ExpanderComponent] = []
-    removed: list[Edge] = []
-    precheck_skips = 0
     # sparse_cut_kwargs may legitimately carry its own "backend",
     # "fast_path", or "executor"; an explicit entry there wins over the
     # decomposition-level default.
@@ -234,131 +520,35 @@ def expander_decomposition(
         "executor": engine,
         **(sparse_cut_kwargs or {}),
     }
-    base: Optional[CSRGraph] = None  # one shared snapshot for every CSR level
-    host_is_csr = isinstance(graph, CSRGraph)
-
-    stack: list[tuple[frozenset, int, Optional[SpectralCertificate]]] = [
-        (frozenset(graph.vertices if host_is_csr else graph.vertices()), 0, None)
-    ]
+    ctx = _SubtreeContext(
+        graph=graph,
+        host_is_csr=isinstance(graph, CSRGraph),
+        phi=phi,
+        mode=mode,
+        schedule=schedule,
+        max_depth=max_depth,
+        cut_kwargs=cut_kwargs,
+        # One draw, however many components are searched: every node of the
+        # recursion derives its stream from the root and its own address.
+        root=stream_root(rng),
+        scheduler=resolve_scheduler(engine, scheduler),
+    )
+    top = frozenset(graph.vertices if ctx.host_is_csr else graph.vertices())
     try:
-        while stack:
-            subset, depth, hint = stack.pop()
-            if not subset:
-                continue
-            view: Optional[PeeledCSR] = None
-            work: Optional[Graph] = None
-            if (
-                host_is_csr  # a CSR host has no dict graph to fall back to
-                or resolve_backend_size(len(subset), cut_kwargs["backend"]) == "csr"
-            ):
-                if base is None:
-                    base = graph if host_is_csr else CSRGraph.from_graph(graph)
-                # Deep-recursion subsets are a shrinking fraction of the host:
-                # compact the view once it has halved so walk vectors stay
-                # proportional to the component, not to the original n.
-                view = maybe_compact(
-                    PeeledCSR.for_subset(base, (base.index[v] for v in subset))
-                )
-            else:
-                work = graph.induced_with_loops(subset)
-            target: "Graph | PeeledCSR" = view if view is not None else work
-
-            if len(subset) == 1 or target.num_edges == 0:
-                # Isolated vertices (all their degree is self loops) are
-                # vacuously φ-expanders: they admit no cut at all.
-                for v in subset:
-                    components.append(
-                        ExpanderComponent(frozenset([v]), True, float("inf"), depth)
-                    )
-                continue
-
-            pieces = target.connected_components()
-            if len(pieces) > 1:
-                # Splitting along existing components removes no edges.  The
-                # canonical piece order (ascending smallest ``repr``, which the
-                # peeled view produces natively) keeps the recursion — and with
-                # it the RNG stream — identical across backends.
-                pieces.sort(key=lambda piece: min(map(repr, piece)))
-                if cut_kwargs["fast_path"] and view is not None:
-                    # Batch the sibling components' spectral solves: one
-                    # stacked eigh per size class instead of one dispatch per
-                    # future pre-check.  Each hint is bit-identical to the solo
-                    # solve, so downstream decisions are unchanged.
-                    hints = batched_component_certificates(view, pieces)
-                else:
-                    hints = [None] * len(pieces)
-                for piece, piece_hint in zip(pieces, hints):
-                    stack.append((frozenset(piece), depth, piece_hint))
-                continue
-
-            if depth >= max_depth:
-                certified, estimate, _ = certify_conductance(target, phi, precomputed=hint)
-                components.append(
-                    ExpanderComponent(frozenset(subset), certified, estimate, depth)
-                )
-                continue
-
-            # Section 2's parameter chain; PRACTICAL floors the search at φ so
-            # deep levels keep finding the cuts the certification target demands.
-            theta = schedule[min(depth, len(schedule) - 1)]
-            search_phi = theta if mode is ParameterMode.PAPER else max(theta, phi)
-            level_report = report.subreport(f"level {depth} (n={len(subset)})")
-            cut_result = nearly_most_balanced_sparse_cut(
-                target,
-                search_phi,
-                mode=mode,
-                seed=rng,
-                report=level_report,
-                spectral_hint=hint,
-                **cut_kwargs,
-            )
-            precheck_skips += cut_result.precheck_skips
-
-            split: Optional[frozenset] = None
-            if not cut_result.is_empty:
-                split = cut_result.cut
-            else:
-                # Authoritative final check, straight off the working view on
-                # the CSR path (no dict G{U} rebuild); an exact certificate the
-                # fast path already computed for this very graph is reused.
-                certified, estimate, witness = certify_conductance(
-                    target, phi, precomputed=cut_result.spectral or hint
-                )
-                if certified:
-                    components.append(
-                        ExpanderComponent(frozenset(subset), True, estimate, depth)
-                    )
-                    continue
-                # Nibble certified "no cut" but the spectral check disagrees:
-                # split on the check's own witness cut so a missed sparse cut
-                # cannot silently produce an uncertified component.
-                if witness and len(witness) < len(subset):
-                    level_report.subreport("fallback_split").charge(target.num_vertices)
-                    split = frozenset(witness)
-                else:
-                    components.append(
-                        ExpanderComponent(frozenset(subset), False, estimate, depth)
-                    )
-                    continue
-
-            rest = frozenset(subset - split)
-            if view is not None:
-                removed.extend(view.cut_edges(view.indices_of(split)))
-            else:
-                removed.extend(work.cut_edges(split))
-            stack.append((split, depth + 1, None))
-            stack.append((rest, depth + 1, None))
+        outcome = _decompose_subtree(ctx, top, 0, None)
     finally:
         if owned_engine:
             engine.close()
+    for level_report in outcome.reports:
+        report.add_child(level_report)
 
     return DecompositionResult(
-        components=components,
-        cut_edges=removed,
+        components=outcome.components,
+        cut_edges=outcome.cut_edges,
         epsilon=epsilon,
         phi=phi,
         num_edges=graph.num_edges,
         level_schedule=schedule,
         report=report,
-        precheck_skips=precheck_skips,
+        precheck_skips=outcome.precheck_skips,
     )

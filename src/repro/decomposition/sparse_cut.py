@@ -39,6 +39,8 @@ import math
 from dataclasses import dataclass
 from typing import Optional, Union
 
+import numpy as np
+
 from ..graphs.csr import CSRGraph, resolve_backend
 from ..graphs.graph import Graph, Vertex
 from ..graphs.peel import PeeledCSR, maybe_compact
@@ -285,6 +287,20 @@ def default_num_instances(graph: WorkGraph) -> int:
     return max(4, math.ceil(math.log2(max(graph.num_edges, 2))))
 
 
+#: Whether the peeled work adapter defers a batch's harvested-cut removals
+#: and applies them as one union :meth:`~repro.graphs.peel.PeeledCSR.peel`
+#: at the end of the application loop, instead of one peel (an O(n)
+#: masked-array pass) per cut.  Exact, not approximate: harvested cuts are
+#: pairwise disjoint, Remove-j preserves the degrees of the surviving
+#: vertices, and ``peel`` is path-independent (``tests/test_peel.py`` pins
+#: this), so every per-cut decision — containment, the small-side flip,
+#: the balance check — is simulatable from a pending-dead set plus a
+#: running volume, and the final union peel produces bit-for-bit the mask
+#: the sequential per-cut peels would.  Tests monkeypatch this to pin that
+#: the batching never changes an output.
+BATCHED_PEEL_ENABLED = True
+
+
 class _DictWork:
     """Work-state adapter over a mutable dict ``Graph`` (the reference path).
 
@@ -334,6 +350,9 @@ class _DictWork:
     def refresh(self) -> None:
         """Between batches: nothing to do on the dict path."""
 
+    def flush_batch(self) -> None:
+        """End of a batch's application loop: dict removals are immediate."""
+
     def initial_volume(self, vertices: set) -> int:
         """Vol of a vertex set measured in the *input* graph."""
         return self.initial.volume(vertices)
@@ -363,6 +382,13 @@ class _PeelWork:
     def __init__(self, peel: PeeledCSR) -> None:
         self.peel = peel.clone()
         self.initial = peel.clone()
+        #: Deferred-removal state (see :data:`BATCHED_PEEL_ENABLED`): base
+        #: index arrays awaiting the union peel, the labels they cover, and
+        #: their volume — the three facts that keep every adapter query
+        #: answering exactly what the sequential per-cut peels would.
+        self._pending_indices: list = []
+        self._pending_dead: set = set()
+        self._pending_volume = 0
 
     @property
     def search_graph(self) -> PeeledCSR:
@@ -375,33 +401,71 @@ class _PeelWork:
         return self.peel.num_edges
 
     def total_volume(self) -> int:
-        """Vol of the current working view."""
-        return self.peel.total_volume
+        """Vol of the current working view (pending removals excluded).
+
+        Remove-j preserves surviving degrees, so a peel shrinks the total
+        volume by exactly the peeled set's volume — which is what makes
+        the pending adjustment exact before the union peel lands.
+        """
+        return self.peel.total_volume - self._pending_volume
 
     def contains_all(self, cut_vertices: set) -> bool:
-        """Whether every cut vertex is still alive."""
+        """Whether every cut vertex is still alive (and not pending removal)."""
+        if self._pending_dead and not self._pending_dead.isdisjoint(cut_vertices):
+            return False
         idx = self.peel.indices_of(cut_vertices)
         return bool(self.peel.alive[idx].all())
 
     def volume_of(self, cut_vertices: set) -> int:
-        """Vol of a vertex set in the current working view."""
+        """Vol of a vertex set in the current working view.
+
+        Degree-preservation makes an alive set's volume invariant under
+        peeling *other* vertices, so pending removals need no adjustment
+        here (callers only measure sets that passed :meth:`contains_all`).
+        """
         return self.peel.volume(self.peel.indices_of(cut_vertices))
 
     def complement(self, cut_vertices: set) -> set:
         """The other side of the cut among the currently alive vertices."""
         labels = self.peel.vertices
-        return {labels[int(i)] for i in self.peel.alive_indices()} - cut_vertices
+        alive = {labels[int(i)] for i in self.peel.alive_indices()}
+        return alive - self._pending_dead - cut_vertices
 
     def remove(self, cut_vertices: set) -> None:
-        """Peel the cut: the masked Remove-j + vertex drop."""
-        self.peel.peel(self.peel.indices_of(cut_vertices))
+        """Peel the cut: the masked Remove-j + vertex drop.
+
+        With :data:`BATCHED_PEEL_ENABLED` the peel is deferred — the cut
+        joins the batch's pending set and the whole batch lands as one
+        union :meth:`~repro.graphs.peel.PeeledCSR.peel` in
+        :meth:`flush_batch` (path-independence makes the union bit-equal
+        to per-cut peels, at one O(n) pass per batch instead of per cut).
+        """
+        idx = self.peel.indices_of(cut_vertices)
+        if not BATCHED_PEEL_ENABLED:
+            self.peel.peel(idx)
+            return
+        self._pending_indices.append(idx)
+        self._pending_dead |= set(cut_vertices)
+        self._pending_volume += self.peel.volume(idx)
+
+    def flush_batch(self) -> None:
+        """Apply every deferred removal as one union peel; idempotent."""
+        if self._pending_indices:
+            self.peel.peel(np.concatenate(self._pending_indices))
+        self._pending_indices = []
+        self._pending_dead = set()
+        self._pending_volume = 0
 
     def refresh(self) -> None:
         """Between batches: re-compact the view once it has halved.
 
         Output-neutral (compaction is bit-identical) but keeps the masked
         kernels' dense-vector cost proportional to what is still alive.
+        Flushes first as a guard — compaction renumbers base indices, so
+        pending index arrays must never survive it (the application loop
+        always flushes before the next batch anyway).
         """
+        self.flush_batch()
         self.peel = maybe_compact(self.peel)
 
     def initial_volume(self, vertices: set) -> int:
@@ -582,6 +646,9 @@ def nearly_most_balanced_sparse_cut(
                 accumulated |= cut_vertices
                 accumulated_volume = work.initial_volume(accumulated)
                 applied += 1
+            # One union peel for the whole batch's cuts (see
+            # BATCHED_PEEL_ENABLED); a no-op on the dict path.
+            work.flush_batch()
             if applied == 0:
                 failures += 1
             else:

@@ -21,21 +21,40 @@ from .executor import (
     resolve_executor,
     sequential_batch,
 )
+from .scheduler import (
+    INLINE,
+    ComponentScheduler,
+    InlineScheduler,
+    PermutedScheduler,
+    PooledComponentScheduler,
+    SubtreeSpec,
+    SubtreeTask,
+    resolve_scheduler,
+)
 from .shared import SharedCSR, SharedCSRMeta, shared_memory_available
-from .worker import run_nibble_instance, run_sharded_chunk
+from .worker import run_nibble_instance, run_sharded_chunk, run_subtree
 
 __all__ = [
     "BatchResult",
+    "ComponentScheduler",
     "Executor",
+    "INLINE",
+    "InlineScheduler",
+    "PermutedScheduler",
+    "PooledComponentScheduler",
     "SEQUENTIAL",
     "SHARD_MIN_VERTICES",
     "SequentialExecutor",
     "ShardedExecutor",
     "SharedCSR",
     "SharedCSRMeta",
+    "SubtreeSpec",
+    "SubtreeTask",
     "resolve_executor",
+    "resolve_scheduler",
     "run_nibble_instance",
     "run_sharded_chunk",
+    "run_subtree",
     "sequential_batch",
     "shared_memory_available",
 ]

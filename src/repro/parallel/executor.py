@@ -377,10 +377,18 @@ def resolve_executor(
     Degradation, per the satellite contract, never crashes: ``workers``
     ≤ 1 (or unset) is simply the sequential engine, and ``workers`` > 1
     without working shared memory warns once per process and falls back to
-    sequential.  An explicit ``executor`` wins over ``workers``.
+    sequential.  Passing *both* an explicit ``executor`` and ``workers`` is
+    a contradiction — the executor was built with its own worker count —
+    and raises :class:`ValueError` rather than silently ignoring one side.
     """
     global _FALLBACK_WARNED
     if executor is not None:
+        if workers is not None:
+            raise ValueError(
+                "pass either executor= or workers=, not both: an explicit "
+                "executor already fixes its worker count, so a workers= "
+                "override would be silently ignored"
+            )
         return executor, False
     if workers is None or workers <= 1:
         return SEQUENTIAL, False

@@ -1,0 +1,277 @@
+"""Component-level scheduling: sibling subtrees of the decomposition recursion.
+
+The expander decomposition's recursion tree is embarrassingly parallel
+*across siblings*: after a level's sparse cut (or a connected-components
+split), each resulting component is the root of an independent subtree —
+no data flows between siblings, and their randomness is addressed by
+``split_stream(root, depth, component_stream_key(subset))``
+(:func:`repro.utils.rng.component_stream_key`), not threaded through a
+shared generator.  This module is the seam through which the driver runs a
+group of sibling subtrees:
+
+* :class:`ComponentScheduler` — the protocol: ``run_siblings(tasks,
+  run_inline, spec)`` returns one subtree outcome per task, *in task
+  order*.  Implementations may execute the tasks in any order, on any
+  process, but may never let scheduling reach an outcome — the driver
+  merges results in the canonical task (smallest-``repr``) order it
+  submitted them in, so the output is engine-independent by construction.
+* :class:`InlineScheduler` — the oracle: every subtree runs inline, in
+  submission order.  The module-level :data:`INLINE` singleton serves every
+  sequential run and every pool worker (workers never nest pools).
+* :class:`PermutedScheduler` — the adversarial test engine: runs subtrees
+  inline but in a deterministic pseudo-random order, the in-process stand-in
+  for pool completion races.  The scheduling-invariance suite
+  (``tests/differential/test_scheduling.py``) pins that it cannot change a
+  single output bit.
+* :class:`PooledComponentScheduler` — the multicore engine: large sibling
+  subtrees are shipped to the :class:`~repro.parallel.executor
+  .ShardedExecutor`'s process pool as :func:`repro.parallel.worker
+  .run_subtree` tasks against the one published
+  :class:`~repro.parallel.shared.SharedCSR` host snapshot, while the small
+  siblings run inline in the driver *concurrently* with the pool's work.
+  Any pool-side failure degrades the executor (one warning, permanently)
+  and re-runs the failed subtrees inline — bit-identically, per the stream
+  discipline.
+
+``docs/PARALLEL.md`` is the narrative companion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from .executor import Executor, ShardedExecutor
+from .worker import run_subtree
+
+
+@dataclass(frozen=True)
+class SubtreeTask:
+    """One schedulable sibling subtree: a component of the recursion.
+
+    ``subset`` is the component's vertex-label set, ``depth`` its recursion
+    depth, and ``hint`` an optional precomputed
+    :class:`~repro.graphs.spectral.SpectralCertificate` of its induced
+    graph (the driver batches sibling solves).  Together with the run-wide
+    :class:`SubtreeSpec` these name the subtree completely — which is why
+    any engine can run it anywhere and produce the same outcome.
+    """
+
+    subset: frozenset
+    depth: int
+    hint: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class SubtreeSpec:
+    """The run-wide parameters a pool worker needs to decompose a subtree.
+
+    ``base`` is the host CSR snapshot every subtree's peeled views restrict
+    (published into shared memory at dispatch time); the rest mirrors the
+    driver's own recursion context, with ``cut_kwargs`` already scrubbed of
+    the driver's executor (worker-side batches run sequentially — workers
+    never nest pools).  ``None`` at a dispatch site means the recursion has
+    no CSR base (pure dict run), so every sibling runs inline.
+    """
+
+    base: object
+    phi: float
+    mode: object
+    schedule: tuple
+    max_depth: int
+    cut_kwargs: dict
+    root: int
+
+
+#: The signature every scheduler implements: given the sibling tasks, a
+#: callback that runs one task inline in the driver, and the run's
+#: :class:`SubtreeSpec` (or ``None``), return one outcome per task, in task
+#: order.
+RunInline = Callable[[SubtreeTask], object]
+
+
+class ComponentScheduler:
+    """Protocol for running a group of sibling subtrees.
+
+    ``run_siblings`` is the whole surface.  Implementations must be
+    output-deterministic in ``(tasks, spec)`` — execution order, worker
+    identity, and inline-vs-shipped placement may never reach an outcome —
+    and must return outcomes positionally aligned with ``tasks``.
+    """
+
+    name = "abstract"
+
+    def run_siblings(
+        self,
+        tasks: list[SubtreeTask],
+        run_inline: RunInline,
+        spec: Optional[SubtreeSpec] = None,
+    ) -> list:
+        """Run every sibling subtree; see the class docstring for the contract."""
+        raise NotImplementedError
+
+
+class InlineScheduler(ComponentScheduler):
+    """The sequential oracle: every subtree runs inline, in submission order.
+
+    Every other scheduler is defined as "produces exactly what this
+    produces"; the scheduling-invariance suite pins the equivalence.
+    Stateless — the module-level :data:`INLINE` singleton serves every
+    caller, including the pool workers themselves.
+    """
+
+    name = "inline"
+
+    def run_siblings(
+        self,
+        tasks: list[SubtreeTask],
+        run_inline: RunInline,
+        spec: Optional[SubtreeSpec] = None,
+    ) -> list:
+        """Run each task inline via ``run_inline``, in order."""
+        return [run_inline(task) for task in tasks]
+
+
+#: The shared stateless inline scheduler (the default).
+INLINE = InlineScheduler()
+
+
+class PermutedScheduler(ComponentScheduler):
+    """Adversarial test engine: inline execution in a shuffled order.
+
+    Each sibling group is executed in a deterministic pseudo-random
+    permutation of its submission order — the in-process model of pool
+    workers finishing (and delivering) in an arbitrary order.  Because the
+    recursion is pure (counter-addressed streams, no shared mutable state),
+    the outcomes must be bit-identical to :data:`INLINE`'s; the
+    differential matrix's ``component-parallel`` column asserts exactly
+    that on every generator family.
+    """
+
+    name = "permuted"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def run_siblings(
+        self,
+        tasks: list[SubtreeTask],
+        run_inline: RunInline,
+        spec: Optional[SubtreeSpec] = None,
+    ) -> list:
+        """Run the tasks inline in a shuffled order; return in task order."""
+        results: list = [None] * len(tasks)
+        for i in self._rng.permutation(len(tasks)):
+            results[int(i)] = run_inline(tasks[int(i)])
+        return results
+
+
+class PooledComponentScheduler(ComponentScheduler):
+    """The multicore engine: sibling subtrees fan out over the shared pool.
+
+    Wraps a :class:`~repro.parallel.executor.ShardedExecutor` and reuses
+    everything it owns: its lazily-created process pool, its published
+    :class:`~repro.parallel.shared.SharedCSR` snapshot cache (the host base
+    is published once, however many subtrees restrict it), its
+    ``min_shard_vertices`` floor (tiny siblings run inline — per-subtree
+    IPC would dominate their microsecond walks), and its degradation
+    discipline (:meth:`~repro.parallel.executor.ShardedExecutor._degrade`):
+    any pool-side failure marks the executor broken, warns once, and every
+    affected or future subtree runs inline instead — bit-identically,
+    because subtree randomness is addressed by
+    ``(root, depth, component_stream_key)``, not by placement.
+
+    Dispatch policy: with a CSR base and a healthy pool, every sibling at
+    or above the size floor is shipped; the remainder run inline in the
+    driver *while the pool works*, so a split into one big and many tiny
+    components overlaps the big subtree with the tiny certifications.
+    """
+
+    name = "pooled"
+
+    def __init__(self, executor: ShardedExecutor) -> None:
+        self.executor = executor
+
+    def run_siblings(
+        self,
+        tasks: list[SubtreeTask],
+        run_inline: RunInline,
+        spec: Optional[SubtreeSpec] = None,
+    ) -> list:
+        """Ship eligible siblings to the pool, run the rest inline, merge.
+
+        Outcomes come back in task order regardless of completion order.
+        A failed future degrades the executor (once) and falls back to
+        ``run_inline`` for its task — the stream discipline makes the
+        re-run identical to what the worker would have returned.
+        """
+        engine = self.executor
+        if (
+            spec is None
+            or engine._broken
+            or engine._closed
+            or len(tasks) < 2
+        ):
+            return [run_inline(task) for task in tasks]
+        futures: dict[int, object] = {}
+        try:
+            # Same-package reach into the executor's publication cache and
+            # pool: the scheduler is the executor's component-level face,
+            # not an outside caller.
+            meta = engine._publish(spec.base).meta
+            pool = engine._ensure_pool()
+            index = spec.base.index
+            for i, task in enumerate(tasks):
+                if len(task.subset) < engine.min_shard_vertices:
+                    continue
+                subset_indices = sorted(index[v] for v in task.subset)
+                futures[i] = pool.submit(
+                    run_subtree,
+                    meta,
+                    subset_indices,
+                    task.depth,
+                    task.hint,
+                    spec.phi,
+                    spec.mode,
+                    spec.schedule,
+                    spec.max_depth,
+                    spec.cut_kwargs,
+                    spec.root,
+                )
+        except Exception as exc:
+            if not engine._broken:
+                engine._degrade(exc)
+            futures = {}
+        results: list = [None] * len(tasks)
+        for i, task in enumerate(tasks):
+            if i not in futures:
+                results[i] = run_inline(task)
+        for i in sorted(futures):
+            try:
+                results[i] = futures[i].result()
+            except Exception as exc:
+                # A broken pool fails every outstanding future; degrade
+                # (and warn) only once, then recover each subtree inline.
+                if not engine._broken:
+                    engine._degrade(exc)
+                results[i] = run_inline(tasks[i])
+        return results
+
+
+def resolve_scheduler(
+    engine: Executor, scheduler: Optional[ComponentScheduler] = None
+) -> ComponentScheduler:
+    """The component scheduler implied by an executor (or an explicit one).
+
+    An explicit ``scheduler`` wins (the testing seam); otherwise a
+    :class:`~repro.parallel.executor.ShardedExecutor` gets the pooled
+    scheduler sharing its pool and snapshot cache, and everything else —
+    the sequential oracle included — gets :data:`INLINE`.
+    """
+    if scheduler is not None:
+        return scheduler
+    if isinstance(engine, ShardedExecutor):
+        return PooledComponentScheduler(engine)
+    return INLINE

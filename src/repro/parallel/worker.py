@@ -162,6 +162,49 @@ def run_nibble_instance(
     return scale, cut
 
 
+def run_subtree(
+    meta: SharedCSRMeta,
+    subset_indices: list[int],
+    depth: int,
+    hint,
+    phi: float,
+    mode,
+    schedule,
+    max_depth: int,
+    cut_kwargs: dict,
+    root: int,
+) -> object:
+    """Decompose one recursion subtree inside a worker process.
+
+    Rehydrates the host snapshot from shared memory (cached per process by
+    :func:`attached_graph`), maps the shipped base indices back to vertex
+    labels, and runs the exact driver recursion
+    (:func:`repro.decomposition.expander.decompose_subtree_on_base`) with
+    the inline scheduler and the sequential batch executor — workers never
+    nest pools.  Every searched component inside the subtree draws from
+    ``split_stream(root, depth, component_stream_key(subset))``, the same
+    address the driver would use, so the returned outcome (components, cut
+    edges, level reports, pre-check skips) is bit-identical to an inline
+    run of the same subtree.  Imported lazily to keep
+    ``repro.parallel`` importable without ``repro.decomposition``.
+    """
+    from ..decomposition.expander import decompose_subtree_on_base
+
+    base = attached_graph(meta)
+    return decompose_subtree_on_base(
+        base,
+        subset_indices,
+        depth,
+        hint,
+        phi,
+        mode,
+        schedule,
+        max_depth,
+        cut_kwargs,
+        root,
+    )
+
+
 def run_sharded_chunk(
     meta: SharedCSRMeta,
     alive: np.ndarray,

@@ -98,15 +98,16 @@ def _rng_state_key(rng: np.random.Generator) -> str:
 def _scrub_execution_kwargs(sparse_cut_kwargs: Optional[dict]) -> dict:
     """Drop execution-engine keys from sparse-cut kwargs before key-building.
 
-    ``executor`` and ``workers`` select *how* batches run, never *what* they
-    produce (the :mod:`repro.parallel` identity contract), so they must not
-    fragment the decomposition cache — and an executor object's ``repr``
-    would poison the key with a process-local address anyway.
+    ``executor``, ``workers``, and ``scheduler`` select *how* batches and
+    sibling subtrees run, never *what* they produce (the
+    :mod:`repro.parallel` identity contract), so they must not fragment the
+    decomposition cache — and an executor object's ``repr`` would poison
+    the key with a process-local address anyway.
     """
     return {
         k: v
         for k, v in (sparse_cut_kwargs or {}).items()
-        if k not in ("executor", "workers")
+        if k not in ("executor", "workers", "scheduler")
     }
 
 

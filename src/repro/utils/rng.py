@@ -67,6 +67,31 @@ def split_stream(root: int, *spawn_key: int) -> np.random.Generator:
     )
 
 
+def component_stream_key(vertices) -> int:
+    """A stable 63-bit stream key for a component: its smallest ``repr``, hashed.
+
+    The expander decomposition addresses each searched component's
+    randomness as ``split_stream(root, depth, component_stream_key(subset))``
+    — derived from *what* the component is, never from when or where it is
+    scheduled, so sibling subtrees can decompose concurrently (or in any
+    order) and still draw exactly the streams the sequential recursion
+    draws.  The key is the SHA-256 of the component's smallest vertex
+    ``repr``, which identifies it uniquely among the components that can
+    share a ``(root, depth)`` address: only *connected* subsets reach the
+    cut search, and the searched subsets at one recursion depth are
+    pairwise disjoint (a disconnected subset splits into its pieces without
+    consuming a key; cut children descend to depth + 1), so their smallest
+    reprs differ.  SHA-256 rather than ``hash()`` because the builtin
+    string hash is salted per process — a pool worker must derive the same
+    key the driver would.
+    """
+    import hashlib
+
+    smallest = min(map(repr, vertices))
+    digest = hashlib.sha256(smallest.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
 def task_stream(root: int, batch_index: int, instance_index: int) -> np.random.Generator:
     """The canonical per-Nibble-instance stream: keyed by batch and instance.
 

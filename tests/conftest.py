@@ -1,0 +1,50 @@
+"""Suite-wide fixtures and guards.
+
+The only machinery here is an opt-in per-test timeout: pool-backed tests
+can hang forever if a worker deadlocks instead of crashing (a crash is
+caught by the degrade path; a deadlock is not).  CI sets
+``REPRO_TEST_TIMEOUT=<seconds>`` so a wedged test fails loudly with a
+stack trace instead of eating the job's whole ``timeout-minutes``.  The
+guard uses :mod:`signal` alarms — no third-party plugin — and is a no-op
+when the variable is unset, on non-main threads, or where ``SIGALRM``
+does not exist.
+"""
+
+import os
+import signal
+import threading
+
+import pytest
+
+
+def _timeout_seconds() -> float:
+    try:
+        return float(os.environ.get("REPRO_TEST_TIMEOUT", "0") or "0")
+    except ValueError:
+        return 0.0
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    seconds = _timeout_seconds()
+    usable = (
+        seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded REPRO_TEST_TIMEOUT={seconds:g}s: {item.nodeid}"
+        )
+
+    previous = signal.signal(signal.SIGALRM, expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

@@ -32,6 +32,7 @@ Every differential test picks the new configuration up automatically
 
 from __future__ import annotations
 
+import os
 import tempfile
 from collections import Counter
 from dataclasses import dataclass
@@ -75,6 +76,10 @@ class BackendConfig:
     workspace: bool = True
     fast_path: bool = True
     mmap: bool = False
+    #: Component-scheduler column: ``"inline"`` (the oracle ordering) or
+    #: ``"permuted"`` — sibling subtrees executed in a deterministic
+    #: shuffled order, the in-process stand-in for pool completion races.
+    scheduler: str = "inline"
 
 
 #: The full backend matrix.  ``dict`` is the oracle; everything else must
@@ -90,6 +95,7 @@ MATRIX = (
     BackendConfig("mmap", mmap=True),
     BackendConfig("dict-nofast", backend="dict", fast_path=False),
     BackendConfig("auto-nofast", backend="auto", fast_path=False),
+    BackendConfig("component-parallel", backend="auto", scheduler="permuted"),
 )
 
 #: A cheaper matrix that still touches every axis once (dict oracle,
@@ -102,6 +108,7 @@ CORE_MATRIX = (
     MATRIX[3],  # csr-int64-nows (dense kernels)
     MATRIX[6],  # mmap
     MATRIX[8],  # auto-nofast
+    MATRIX[9],  # component-parallel (permuted sibling scheduling)
 )
 
 
@@ -163,6 +170,43 @@ def _host_graph(graph: Graph, config: BackendConfig, stack):
     return CSRGraph.from_mmap(path)
 
 
+_AMBIENT_EXECUTOR = None
+
+
+def ambient_executor():
+    """The suite-wide execution engine, or ``None`` for the sequential default.
+
+    The CI ``component-parity`` job sets ``REPRO_DIFF_WORKERS=<n>`` to run
+    this whole differential suite against a real ``n``-worker sharded
+    executor with the pool forced on (``min_shard_vertices=1``), so every
+    matrix cell exercises pool-side batches *and* pool-side sibling
+    subtrees while still asserting bit-identity to the dict oracle.  One
+    engine is shared across the suite (one pool, one snapshot cache); the
+    executor module's ``atexit`` backstop unlinks its segments at
+    interpreter exit.
+    """
+    global _AMBIENT_EXECUTOR
+    workers = int(os.environ.get("REPRO_DIFF_WORKERS", "0") or "0")
+    if workers < 1:
+        return None
+    if _AMBIENT_EXECUTOR is None:
+        from repro.parallel import ShardedExecutor
+
+        _AMBIENT_EXECUTOR = ShardedExecutor(workers, min_shard_vertices=1)
+    return _AMBIENT_EXECUTOR
+
+
+def _config_scheduler(config: BackendConfig):
+    """The component scheduler a configuration forces (``None`` = engine's)."""
+    if config.scheduler == "permuted":
+        from repro.parallel import PermutedScheduler
+
+        # Fresh per run so every decomposition sees the same deterministic
+        # permutation sequence (the scheduler is stateful across groups).
+        return PermutedScheduler(seed=101)
+    return None
+
+
 def run_decomposition(graph, config, seed, epsilon, phi, **kwargs):
     """One decomposition under ``config``; returns (result, rng post-state)."""
     from contextlib import ExitStack
@@ -179,6 +223,8 @@ def run_decomposition(graph, config, seed, epsilon, phi, **kwargs):
             seed=rng,
             backend=config.backend,
             fast_path=config.fast_path,
+            executor=ambient_executor(),
+            scheduler=_config_scheduler(config),
             **kwargs,
         )
         return result, rng.bit_generator.state
@@ -206,6 +252,7 @@ def run_sparse_cut(graph, config, seed, phi, **kwargs):
             seed=rng,
             backend=config.backend,
             fast_path=config.fast_path,
+            executor=ambient_executor(),
             **kwargs,
         )
         return result, rng.bit_generator.state

@@ -1,0 +1,72 @@
+"""Batched harvest application ≡ sequential peels, bitwise, on every family.
+
+``nearly_most_balanced_sparse_cut`` applies a batch's harvested cuts in one
+union :meth:`PeeledCSR.peel` when ``BATCHED_PEEL_ENABLED`` (the default).
+The exactness argument lives on that flag's docstring in
+:mod:`repro.decomposition.sparse_cut`: harvested cuts are pairwise
+disjoint, peeling is degree-preserving on survivors, and ``peel`` is
+path-independent — so the union peel is bit-equal to peeling each cut as
+it lands.  This suite *checks* that argument differentially: both modes,
+every generator family, full pipeline, identical signatures, RNG
+post-states, and round totals — including under the PR 8 batch memo,
+whose cache keys must not observe the application strategy either.
+"""
+
+import numpy as np
+import pytest
+
+from diffharness import decomposition_signature, generator_families
+from repro.decomposition import (
+    expander_decomposition,
+    nearly_most_balanced_sparse_cut,
+)
+from repro.decomposition import sparse_cut as sparse_cut_module
+
+FAMILIES = generator_families()
+
+
+def run_decomposition(graph, seed=7):
+    rng = np.random.default_rng(seed)
+    result = expander_decomposition(graph, 0.2, 0.1, seed=rng)
+    return (
+        decomposition_signature(result),
+        result.report.total_rounds,
+        rng.bit_generator.state,
+    )
+
+
+def run_cut(graph, seed=7):
+    rng = np.random.default_rng(seed)
+    result = nearly_most_balanced_sparse_cut(graph, 0.1, seed=rng)
+    return (
+        result.cut,
+        result.conductance,
+        result.balance,
+        result.cut_size,
+        result.certified_no_cut,
+        result.batches,
+        result.report.total_rounds,
+        rng.bit_generator.state,
+    )
+
+
+@pytest.fixture(params=[n for n, _ in FAMILIES])
+def family(request):
+    return dict(FAMILIES)[request.param]
+
+
+class TestBatchedPeelParity:
+    def test_default_is_batched(self):
+        assert sparse_cut_module.BATCHED_PEEL_ENABLED is True
+
+    def test_decomposition_bitwise_equal(self, family, monkeypatch):
+        monkeypatch.setattr(sparse_cut_module, "BATCHED_PEEL_ENABLED", False)
+        sequential = run_decomposition(family)
+        monkeypatch.setattr(sparse_cut_module, "BATCHED_PEEL_ENABLED", True)
+        assert run_decomposition(family) == sequential
+
+    def test_sparse_cut_bitwise_equal(self, family, monkeypatch):
+        monkeypatch.setattr(sparse_cut_module, "BATCHED_PEEL_ENABLED", False)
+        sequential = run_cut(family)
+        monkeypatch.setattr(sparse_cut_module, "BATCHED_PEEL_ENABLED", True)
+        assert run_cut(family) == sequential

@@ -93,6 +93,32 @@ class TestBatchMemo:
         assert outputs[True] == outputs[False]
         assert counts[True] < counts[False]
 
+    @pytest.mark.parametrize(
+        "name,graph",
+        [
+            ("clique_chain", clique_chain(CHAIN_SIZES)),
+            ("ring_of_cliques", ring_of_cliques(6, 8)),
+        ],
+        ids=["clique_chain", "ring_of_cliques"],
+    )
+    def test_memo_and_batched_peel_commute(self, monkeypatch, name, graph):
+        """The 2×2 interaction grid: the batch memo (PR 8) keys on the
+        batch's drawn instances and the batched harvest application (this
+        PR) changes only *when* peels land, never what the batch drew — so
+        all four flag combinations must be bit-identical."""
+        from repro.decomposition import sparse_cut as sparse_cut_module
+
+        outputs = {}
+        for memo in (True, False):
+            for batched in (True, False):
+                monkeypatch.setattr(
+                    sparse_cut_module, "BATCHED_PEEL_ENABLED", batched
+                )
+                outputs[memo, batched] = run_with_memo(monkeypatch, graph, memo)
+        reference = outputs[True, True]
+        for combo, got in outputs.items():
+            assert got == reference, (name, combo)
+
     def test_draw_protocol_is_two_stream_draws(self):
         """draw_nibble_instance must consume exactly the start draw and the
         scale draw — the memo's exactness argument leans on this."""

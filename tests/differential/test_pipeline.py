@@ -51,6 +51,10 @@ class TestBackendMatrix:
         assert {c.workspace for c in MATRIX} == {True, False}
         assert {c.fast_path for c in MATRIX} == {True, False}
         assert any(c.mmap for c in MATRIX)
+        # component scheduling: the permuted-sibling column must stay in
+        # both matrices, or scheduling-invariance loses its standing check
+        assert {c.scheduler for c in MATRIX} == {"inline", "permuted"}
+        assert any(c.scheduler == "permuted" for c in CORE_MATRIX)
         # round-accounting oracle: a dict engine in each fast-path group
         for fast_path in (True, False):
             assert any(

@@ -1,0 +1,292 @@
+"""Component-level parallelism: identity, fault injection, leak checks.
+
+The tentpole contract under test: sibling subtrees of the decomposition
+recursion dispatched through a :class:`~repro.parallel.scheduler
+.PooledComponentScheduler` must be *engine-invisible* — sequential,
+1-worker, and N-worker runs produce the same components, cut edges, round
+totals, and residual RNG state, because every searched component's
+randomness is addressed by ``(root, depth, component_stream_key)`` rather
+than by scheduling.  And the engine must *fail soft*: a poisoned worker
+function, a pool that breaks mid-run, or a genuinely killed worker process
+degrades the run to inline execution with exactly one warning, bit-identical
+outputs, and zero leaked ``/dev/shm`` segments.
+"""
+
+import os
+import warnings
+from collections import Counter
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.decomposition import expander_decomposition
+from repro.graphs.generators import (
+    planted_partition_graph,
+    ring_of_cliques,
+)
+from repro.parallel import (
+    INLINE,
+    InlineScheduler,
+    PermutedScheduler,
+    PooledComponentScheduler,
+    SEQUENTIAL,
+    ShardedExecutor,
+    SubtreeTask,
+    resolve_scheduler,
+    shared_memory_available,
+)
+from repro.parallel import scheduler as scheduler_module
+from repro.parallel import executor as executor_module
+
+needs_shm = pytest.mark.skipif(
+    not shared_memory_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+
+def signature(result):
+    """Everything output-relevant about one decomposition."""
+    return (
+        sorted((sorted(map(repr, c.vertices)) for c in result.components)),
+        sorted(
+            (tuple(sorted(map(repr, c.vertices))), c.certified, c.conductance_estimate, c.level)
+            for c in result.components
+        ),
+        Counter(frozenset(e) for e in result.cut_edges),
+        result.report.total_rounds,
+        result.precheck_skips,
+    )
+
+
+def run(graph, seed=7, **kwargs):
+    """One decomposition; returns (signature, rng post-state)."""
+    rng = np.random.default_rng(seed)
+    result = expander_decomposition(graph, 0.2, 0.1, seed=rng, **kwargs)
+    return signature(result), rng.bit_generator.state
+
+
+def shm_entries():
+    """Current ``/dev/shm`` entry names (empty set where it does not exist)."""
+    path = Path("/dev/shm")
+    if not path.is_dir():
+        return set()
+    return {p.name for p in path.iterdir()}
+
+
+class FakePool:
+    """A pool double whose submitted calls run inline in this process.
+
+    Used to inject failures deterministically: the submitted function is
+    whatever name the scheduler resolved at submit time, so a monkeypatched
+    ``run_subtree``/``run_sharded_chunk`` raises exactly where a poisoned
+    worker would.
+    """
+
+    def submit(self, fn, *args, **kwargs):
+        future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 - mirrored into the future
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class BrokenPool:
+    """A pool double that fails every submission like a dead process pool."""
+
+    def submit(self, fn, *args, **kwargs):
+        future = Future()
+        future.set_exception(BrokenProcessPool("worker died"))
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+GRAPHS = [
+    ("ring_of_cliques", ring_of_cliques(6, 8)),
+    ("planted", planted_partition_graph(4, 12, 0.7, 0.02, seed=7)),
+]
+
+
+class TestSchedulerUnits:
+    def test_inline_runs_in_submission_order(self):
+        tasks = [SubtreeTask(frozenset([i]), 0) for i in range(5)]
+        seen = []
+
+        def record(task):
+            seen.append(min(task.subset))
+            return min(task.subset)
+
+        assert INLINE.run_siblings(tasks, record) == [0, 1, 2, 3, 4]
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_permuted_shuffles_execution_but_not_results(self):
+        tasks = [SubtreeTask(frozenset([i]), 0) for i in range(8)]
+        seen = []
+
+        def record(task):
+            seen.append(min(task.subset))
+            return min(task.subset)
+
+        results = PermutedScheduler(seed=3).run_siblings(tasks, record)
+        assert results == list(range(8))  # positional, submission-aligned
+        assert sorted(seen) == list(range(8))
+        assert seen != list(range(8))  # the order genuinely moved
+
+    def test_resolve_scheduler_mapping(self):
+        assert resolve_scheduler(SEQUENTIAL) is INLINE
+        engine = ShardedExecutor(2)
+        try:
+            pooled = resolve_scheduler(engine)
+            assert isinstance(pooled, PooledComponentScheduler)
+            assert pooled.executor is engine
+            mine = PermutedScheduler(1)
+            assert resolve_scheduler(engine, mine) is mine
+        finally:
+            engine.close()
+
+    def test_pooled_without_spec_runs_inline(self):
+        # A dict-only run has no CSR base: every sibling runs inline and
+        # no pool is ever created.
+        engine = ShardedExecutor(2, min_shard_vertices=1)
+        try:
+            pooled = PooledComponentScheduler(engine)
+            tasks = [SubtreeTask(frozenset([i]), 0) for i in range(3)]
+            got = pooled.run_siblings(tasks, lambda t: min(t.subset), spec=None)
+            assert got == [0, 1, 2]
+            assert engine._pool is None
+        finally:
+            engine.close()
+
+
+@needs_shm
+class TestComponentParallelIdentity:
+    @pytest.mark.parametrize("name,graph", GRAPHS, ids=[n for n, _ in GRAPHS])
+    def test_pool_identical_to_sequential(self, name, graph):
+        expected = run(graph)
+        for workers in (1, 2, 4):
+            with ShardedExecutor(workers, min_shard_vertices=1) as engine:
+                assert run(graph, executor=engine) == expected, f"workers={workers}"
+
+    def test_inline_scheduler_override_with_pool_engine(self):
+        # scheduler= is an explicit override seam: forcing INLINE under a
+        # sharded engine must still match (batch-level sharding stays on).
+        graph = ring_of_cliques(6, 8)
+        expected = run(graph)
+        with ShardedExecutor(2, min_shard_vertices=1) as engine:
+            assert run(graph, executor=engine, scheduler=INLINE) == expected
+
+    def test_leaves_no_shared_memory(self):
+        graph = ring_of_cliques(6, 8)
+        before = shm_entries()
+        with ShardedExecutor(2, min_shard_vertices=1) as engine:
+            run(graph, executor=engine)
+        assert shm_entries() - before == set()
+
+
+class TestFaultInjection:
+    """Poisoned workers and broken pools: one warning, identical bits."""
+
+    @needs_shm
+    def test_poisoned_run_subtree_degrades_bit_identically(self, monkeypatch):
+        graph = ring_of_cliques(6, 8)
+        expected = run(graph)
+
+        def poisoned(*args, **kwargs):
+            raise RuntimeError("worker poisoned mid-run")
+
+        monkeypatch.setattr(scheduler_module, "run_subtree", poisoned)
+        with ShardedExecutor(2, min_shard_vertices=1) as engine:
+            engine._pool = FakePool()  # execute submissions in-process
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                got = run(graph, executor=engine)
+            assert engine._broken
+        degraded = [
+            w for w in caught
+            if issubclass(w.category, RuntimeWarning)
+            and "degraded to sequential" in str(w.message)
+        ]
+        assert len(degraded) == 1, "degradation must warn exactly once"
+        assert got == expected
+
+    @needs_shm
+    def test_poisoned_run_sharded_chunk_degrades_bit_identically(self, monkeypatch):
+        graph = planted_partition_graph(4, 12, 0.7, 0.02, seed=7)
+        expected = run(graph)
+
+        def poisoned(*args, **kwargs):
+            raise OSError("chunk worker killed")
+
+        monkeypatch.setattr(executor_module, "run_sharded_chunk", poisoned)
+        # Keep subtree dispatch off (floor above n) so the *batch* level is
+        # the one that trips the poison.
+        with ShardedExecutor(2, min_shard_vertices=10_000) as engine:
+            engine._pool = FakePool()
+            engine.min_shard_vertices = 1
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                got = run(graph, executor=engine)
+        degraded = [
+            w for w in caught
+            if issubclass(w.category, RuntimeWarning)
+            and "degraded to sequential" in str(w.message)
+        ]
+        assert len(degraded) == 1
+        assert got == expected
+
+    @needs_shm
+    def test_simulated_broken_process_pool(self):
+        # Every outstanding future fails at once, the way a dead pool fails
+        # them: still one warning, every subtree recovered inline.
+        graph = ring_of_cliques(6, 8)
+        expected = run(graph)
+        with ShardedExecutor(4, min_shard_vertices=1) as engine:
+            engine._pool = BrokenPool()
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                got = run(graph, executor=engine)
+            assert engine._broken
+        degraded = [
+            w for w in caught
+            if issubclass(w.category, RuntimeWarning)
+            and "degraded to sequential" in str(w.message)
+        ]
+        assert len(degraded) == 1
+        assert got == expected
+
+    @needs_shm
+    def test_killed_worker_process_no_shm_leak(self):
+        # A genuinely killed worker: os._exit(1) inside the pool breaks it
+        # for real.  The decomposition must still complete (inline, one
+        # warning) and close() must leave /dev/shm exactly as it found it.
+        graph = ring_of_cliques(6, 8)
+        expected = run(graph)
+        before = shm_entries()
+        with ShardedExecutor(2, min_shard_vertices=1) as engine:
+            with pytest.raises(BrokenProcessPool):
+                engine._ensure_pool().submit(os._exit, 1).result()
+            with pytest.warns(RuntimeWarning, match="degraded to sequential"):
+                got = run(graph, executor=engine)
+        assert got == expected
+        assert shm_entries() - before == set(), "leaked shared-memory segments"
+
+    @needs_shm
+    def test_degraded_engine_stays_quiet_afterwards(self):
+        graph = ring_of_cliques(6, 8)
+        expected = run(graph)
+        with ShardedExecutor(2, min_shard_vertices=1) as engine:
+            engine._pool = BrokenPool()
+            with pytest.warns(RuntimeWarning, match="degraded to sequential"):
+                first = run(graph, executor=engine)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # a second warning would fail
+                second = run(graph, executor=engine)
+        assert first == expected
+        assert second == expected

@@ -179,10 +179,19 @@ class TestResolveExecutor:
             engine, owned = resolve_executor(**kwargs)
             assert engine is SEQUENTIAL and not owned
 
-    def test_explicit_executor_wins_and_is_not_owned(self):
+    def test_explicit_executor_is_not_owned(self):
         mine = SequentialExecutor()
-        engine, owned = resolve_executor(executor=mine, workers=8)
+        engine, owned = resolve_executor(executor=mine)
         assert engine is mine and not owned
+
+    def test_executor_and_workers_together_raise(self):
+        """The bugfix contract: an explicit executor fixes its own worker
+        count, so a simultaneous workers= override is a contradiction that
+        must raise instead of being silently ignored."""
+        mine = SequentialExecutor()
+        for workers in (0, 1, 8):
+            with pytest.raises(ValueError, match="not both"):
+                resolve_executor(executor=mine, workers=workers)
 
     @needs_shm
     def test_workers_make_an_owned_sharded_engine(self):
