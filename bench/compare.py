@@ -51,14 +51,40 @@ TIME_FIELDS = {
 }
 
 #: Structural fields that must match exactly in ``--smoke`` mode.
+#: A field absent from either record is skipped (see the gate below), so
+#: baselines written before a field existed stay valid: ``partial`` and
+#: ``unfinished_components`` — the resilience gate that no deadline-free
+#: bench run ever returns a flagged-partial decomposition — only engage
+#: once both reports carry them.
 STRUCT_FIELDS = {
     # ``index_dtype`` is deterministic (a pure function of graph size and
     # the auto policy), so a drifting dtype decision gates like structure.
-    "results": ("num_components", "certified_fraction", "within_budget", "index_dtype"),
+    "results": (
+        "num_components",
+        "certified_fraction",
+        "within_budget",
+        "index_dtype",
+        "partial",
+        "unfinished_components",
+    ),
     "triangle_results": ("triangles", "cluster_triangles", "cross_triangles", "agreement"),
-    "large_results": ("num_components", "certified_fraction", "within_budget", "index_dtype"),
+    "large_results": (
+        "num_components",
+        "certified_fraction",
+        "within_budget",
+        "index_dtype",
+        "partial",
+        "unfinished_components",
+    ),
     "parallel_scaling": ("num_components", "certified_fraction", "within_budget"),
-    "xl_results": ("num_components", "certified_fraction", "within_budget", "index_dtype"),
+    "xl_results": (
+        "num_components",
+        "certified_fraction",
+        "within_budget",
+        "index_dtype",
+        "partial",
+        "unfinished_components",
+    ),
     "triangle_cache_results": ("triangles", "identical"),
     # The world sweep's determinism contract: everything but wall time is a
     # pure function of the world seed, so certification/recall regressions

@@ -41,7 +41,15 @@ Five sections, all emitted into one JSON report
   power-law graph built straight into CSR (no dict detour), persisted
   with :meth:`CSRGraph.to_mmap`, and decomposed entirely from the
   memory-mapped snapshot, recording build/decompose wall times, the
-  engaged index dtype (int32 at this size), and peak RSS.
+  engaged index dtype (int32 at this size), and peak RSS.  The stage
+  prints a heartbeat line every ~10s (components emitted, elapsed wall
+  time, peak RSS) so a minutes-long run is visibly alive, and accepts
+  ``--resume DIR``: the decomposition journals every completed subtree
+  into a :class:`~repro.resilience.journal.RunJournal` at ``DIR``, so a
+  killed run re-invoked with the same flag replays the finished subtrees
+  from disk and produces the bit-identical decomposition (the record
+  carries ``resumed`` and ``journal_replayed`` so the report says which
+  happened).
 
 Decomposition records additionally carry ``index_dtype`` (the storage
 policy's auto decision for that graph — structural, gated by
@@ -50,7 +58,7 @@ policy's auto decision for that graph — structural, gated by
 Usage::
 
     PYTHONPATH=src python bench/decompose.py [--seed N] [--output PATH]
-        [--skip-large] [--smoke] [--xl] [--workers N]
+        [--skip-large] [--smoke] [--xl] [--workers N] [--resume DIR]
 
 ``--skip-large`` runs only the small sections — the original families
 plus the triangle stages (seconds); ``--smoke`` is the CI guard: small
@@ -327,11 +335,20 @@ def run_family(
         "congest_rounds": result.report.total_rounds,
         "index_dtype": snapshot_index_dtype(graph),
         "peak_rss_mb": peak_rss_mb(),
+        # Resilience fields: these sections run without a deadline, so a
+        # partial result here is a broken build — gated structurally by
+        # bench/compare.py --smoke exactly like certification is.
+        "partial": bool(result.partial),
+        "unfinished_components": len(getattr(result, "unfinished_components", ())),
         "wall_time_s": round(elapsed, 3),
     }
 
 
-def run_xl_decomposition(seed: int) -> dict:
+def run_xl_decomposition(
+    seed: int,
+    journal_dir: Optional[str] = None,
+    heartbeat_seconds: float = 10.0,
+) -> dict:
     """The 10⁷-edge stage: build a power-law CSR, mmap it, decompose from disk.
 
     ``power_law_csr(2·10⁶, exponent=2.0)`` yields ≈10⁷ edges (mean degree
@@ -343,7 +360,29 @@ def run_xl_decomposition(seed: int) -> dict:
     matching is its own O(m) cost) and carries ``index_dtype`` and
     ``peak_rss_mb`` so the report shows the int32 policy engaged and the
     resident set stayed far below the 8-byte-index equivalent.
+
+    While the decomposition runs, a heartbeat line is printed every
+    ``heartbeat_seconds`` (fed by the driver's ``on_progress`` callback)
+    so the minutes-long stage is visibly alive.  With ``journal_dir`` set
+    (the ``--resume`` flag), every completed subtree is checkpointed into
+    a :class:`~repro.resilience.journal.RunJournal` there; a re-run after
+    a kill replays the journaled subtrees and — by the resume contract
+    pinned in ``tests/test_resilience.py`` — produces the bit-identical
+    decomposition.  ``resumed``/``journal_replayed`` record whether and
+    how much the run replayed.
     """
+    journal = None
+    journal_replayed = 0
+    if journal_dir is not None:
+        from repro.resilience import RunJournal
+
+        journal = RunJournal(journal_dir)
+        journal_replayed = len(journal)
+        if journal_replayed:
+            print(
+                f"[xl] resuming from journal {journal_dir}: "
+                f"{journal_replayed} completed subtrees on disk"
+            )
     gc.collect()
     begin = time.perf_counter()
     csr = power_law_csr(2_000_000, exponent=2.0, seed=seed)
@@ -356,17 +395,36 @@ def run_xl_decomposition(seed: int) -> dict:
         gc.collect()
         mapped = CSRGraph.from_mmap(path)
         begin = time.perf_counter()
-        result = expander_decomposition(
-            mapped,
-            epsilon=0.2,
-            phi=0.02,
-            seed=seed,
-            sparse_cut_kwargs={
-                "num_instances": 4,
-                "params_overrides": {"max_t0": 60},
-            },
-            max_depth=4,
-        )
+        last_beat = [begin]
+
+        def heartbeat(components_done: int) -> None:
+            now = time.perf_counter()
+            if now - last_beat[0] < heartbeat_seconds:
+                return
+            last_beat[0] = now
+            print(
+                f"[xl] heartbeat: {components_done} components emitted, "
+                f"{now - begin:.0f}s elapsed, peak RSS {peak_rss_mb()}MB",
+                flush=True,
+            )
+
+        try:
+            result = expander_decomposition(
+                mapped,
+                epsilon=0.2,
+                phi=0.02,
+                seed=seed,
+                sparse_cut_kwargs={
+                    "num_instances": 4,
+                    "params_overrides": {"max_t0": 60},
+                },
+                max_depth=4,
+                journal=journal,
+                on_progress=heartbeat,
+            )
+        finally:
+            if journal is not None:
+                journal.close()
         wall_s = time.perf_counter() - begin
     sizes = sorted((len(c) for c in result.components), reverse=True)
     return {
@@ -385,6 +443,10 @@ def run_xl_decomposition(seed: int) -> dict:
         "inter_edge_fraction": result.inter_edge_fraction,
         "within_budget": result.within_budget,
         "congest_rounds": result.report.total_rounds,
+        "partial": bool(result.partial),
+        "unfinished_components": len(getattr(result, "unfinished_components", ())),
+        "resumed": journal_replayed > 0,
+        "journal_replayed": journal_replayed,
         "peak_rss_mb": peak_rss_mb(),
     }
 
@@ -685,7 +747,17 @@ def main() -> None:
         help="Worker processes for the results/large_results sections "
         "(default 1 = sequential engine; outputs are identical either way)",
     )
+    parser.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="Journal directory for the --xl decomposition: completed "
+        "subtrees are checkpointed there, and a re-run after a kill "
+        "replays them bit-identically (requires --xl)",
+    )
     args = parser.parse_args()
+    if args.resume and not args.xl:
+        parser.error("--resume only applies to the --xl stage")
 
     records = []
     for name, builder, epsilon, phi in families(args.seed):
@@ -798,13 +870,18 @@ def main() -> None:
             )
             print(f"[scaling] {name}: {sweep} (decompositions asserted identical)")
         if args.xl:
-            record = run_xl_decomposition(args.seed)
+            record = run_xl_decomposition(args.seed, journal_dir=args.resume)
             xl_records.append(record)
+            resumed = (
+                f"resumed ({record['journal_replayed']} subtrees replayed), "
+                if record["resumed"]
+                else ""
+            )
             print(
                 f"[xl] {record['family']}: n={record['num_vertices']}, "
                 f"m={record['num_edges']} ({record['index_dtype']} indices, "
                 f"mmap host), build {record['build_time_s']}s, "
-                f"decompose {record['wall_time_s']}s, "
+                f"decompose {record['wall_time_s']}s, {resumed}"
                 f"{record['num_components']} components, "
                 f"certified {record['certified_fraction']:.0%}, "
                 f"budget ok: {record['within_budget']}, "

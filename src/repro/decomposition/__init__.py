@@ -3,6 +3,7 @@
 from .expander import (
     DecompositionResult,
     ExpanderComponent,
+    PartialDecomposition,
     expander_decomposition,
     level_schedule,
     recursion_depth_bound,
@@ -21,6 +22,7 @@ from .sparse_cut import (
 __all__ = [
     "DecompositionResult",
     "ExpanderComponent",
+    "PartialDecomposition",
     "SparseCutResult",
     "default_num_instances",
     "expander_decomposition",

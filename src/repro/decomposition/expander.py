@@ -48,12 +48,14 @@ from ..parallel.scheduler import (
     SubtreeTask,
     resolve_scheduler,
 )
+from ..resilience.deadline import Deadline, resolve_deadline
 from ..utils.rng import (
     SeedLike,
     component_stream_key,
     ensure_rng,
     split_stream,
     stream_root,
+    subtree_journal_key,
 )
 from ..utils.rounds import RoundReport
 from .sparse_cut import nearly_most_balanced_sparse_cut
@@ -61,12 +63,20 @@ from .sparse_cut import nearly_most_balanced_sparse_cut
 
 @dataclass(frozen=True)
 class ExpanderComponent:
-    """One output component of the decomposition."""
+    """One output component of the decomposition.
+
+    ``unfinished`` marks a component the run did not get to process: its
+    deadline expired before the subtree was searched, so the vertices are
+    emitted as one explicitly-uncertified block (never silently wrong,
+    never raised through).  Unfinished components only appear on
+    :class:`PartialDecomposition` results.
+    """
 
     vertices: frozenset
     certified: bool
     conductance_estimate: float
     level: int
+    unfinished: bool = False
 
     def __len__(self) -> int:
         return len(self.vertices)
@@ -113,9 +123,45 @@ class DecompositionResult:
             return 1.0
         return sum(1 for c in self.components if c.certified) / len(self.components)
 
+    @property
+    def partial(self) -> bool:
+        """Whether a deadline cut the run short (True on :class:`PartialDecomposition`)."""
+        return False
+
     def component_sets(self) -> list[frozenset]:
         """The vertex sets alone, largest first."""
         return sorted((c.vertices for c in self.components), key=len, reverse=True)
+
+
+class PartialDecomposition(DecompositionResult):
+    """A deadline-bounded decomposition: finished prefix + flagged remainder.
+
+    Returned by :func:`expander_decomposition` instead of a plain
+    :class:`DecompositionResult` whenever its deadline expired mid-run.
+    Every vertex is still covered — subtrees the run never reached are
+    emitted as single ``unfinished=True`` uncertified components — so the
+    result is never silently wrong, and the *finished* components of a
+    sequential run are a bitwise prefix of the unbounded run's components
+    (the recursion emits in canonical DFS order and the expiry latch means
+    everything after the first expired check is a marker;
+    docs/RESILIENCE.md carries the argument, ``tests/test_resilience.py``
+    pins it).
+    """
+
+    @property
+    def partial(self) -> bool:
+        """Always True: the run was cut short by its deadline."""
+        return True
+
+    @property
+    def unfinished_components(self) -> list[ExpanderComponent]:
+        """The components the deadline prevented from being processed."""
+        return [c for c in self.components if c.unfinished]
+
+    @property
+    def finished_components(self) -> list[ExpanderComponent]:
+        """The certified-or-refuted prefix the run completed before expiry."""
+        return [c for c in self.components if not c.unfinished]
 
 
 def recursion_depth_bound(num_vertices: int) -> int:
@@ -178,7 +224,12 @@ class _SubtreeContext:
     ``root`` is the single stream root drawn from the caller's generator;
     ``scheduler`` decides where sibling subtrees execute; ``base`` is the
     lazily-created CSR snapshot every peeled view restricts (mutated in
-    place on first need, exactly like the old driver's local).
+    place on first need, exactly like the old driver's local).  The
+    resilience fields: ``journal`` replays and records completed subtrees
+    (:class:`~repro.resilience.journal.RunJournal`), ``deadline`` bounds
+    the run (:class:`~repro.resilience.deadline.Deadline`), and
+    ``on_progress`` receives the running emitted-component count — the
+    bench heartbeat's data feed.
     """
 
     graph: object
@@ -191,6 +242,10 @@ class _SubtreeContext:
     root: int
     scheduler: ComponentScheduler
     base: Optional[CSRGraph] = None
+    journal: Optional[object] = None
+    deadline: Optional[Deadline] = None
+    on_progress: Optional[object] = None
+    progress: int = 0
 
     def spec(self) -> Optional[SubtreeSpec]:
         """The dispatch spec for pool schedulers (``None`` without a base).
@@ -198,7 +253,9 @@ class _SubtreeContext:
         The shipped ``cut_kwargs`` replace the driver's executor with
         ``None``: worker-side batches run on the sequential engine —
         workers never nest pools — and the stream discipline makes that
-        invisible to every output.
+        invisible to every output.  ``deadline`` rides along driver-side
+        only (the scheduler bounds its waits with it; it is never
+        pickled).
         """
         if self.base is None:
             return None
@@ -210,7 +267,40 @@ class _SubtreeContext:
             max_depth=self.max_depth,
             cut_kwargs={**self.cut_kwargs, "executor": None},
             root=self.root,
+            deadline=self.deadline,
         )
+
+
+def _bump(ctx: _SubtreeContext, count: int) -> None:
+    """Advance the emitted-component counter; feed the progress callback."""
+    if count <= 0:
+        return
+    ctx.progress += count
+    if ctx.on_progress is not None:
+        ctx.on_progress(ctx.progress)
+
+
+def _emit(
+    ctx: _SubtreeContext, outcome: _SubtreeOutcome, component: ExpanderComponent
+) -> None:
+    """Emit one component from driver-side recursion (progress included)."""
+    outcome.components.append(component)
+    _bump(ctx, 1)
+
+
+def _expired(ctx: _SubtreeContext) -> bool:
+    """Whether the run's deadline (if any) has expired."""
+    return ctx.deadline is not None and ctx.deadline.expired()
+
+
+def _unfinished_marker(subset: frozenset, depth: int) -> ExpanderComponent:
+    """The flagged placeholder for a subtree the deadline cut off."""
+    return ExpanderComponent(frozenset(subset), False, 0.0, depth, unfinished=True)
+
+
+def _finished(outcome: _SubtreeOutcome) -> bool:
+    """Whether a subtree outcome contains no deadline-cut placeholder."""
+    return not any(component.unfinished for component in outcome.components)
 
 
 def _run_children(
@@ -222,13 +312,45 @@ def _run_children(
     the scheduler returns outcomes positionally, so the merged component,
     cut-edge, and report order is the same whether the siblings ran
     inline, permuted, or on pool workers.
+
+    The journal seam lives here: subtrees already journaled are replayed
+    without dispatching (their recorded outcome is bit-identical to a
+    re-run, per the stream discipline), and every *finished* fresh subtree
+    is recorded after its group returns — so a killed run resumes at
+    sibling-subtree granularity.  Progress accounting: inline children
+    bump the shared context as they emit; journal replays and
+    pool-returned outcomes arrive whole and are bumped here.
     """
-    children = ctx.scheduler.run_siblings(
-        tasks,
-        lambda task: _decompose_subtree(ctx, task.subset, task.depth, task.hint),
-        spec=ctx.spec(),
-    )
-    for child in children:
+    results: list = [None] * len(tasks)
+    replayed: set[int] = set()
+    pending: list[SubtreeTask] = []
+    pending_positions: list[int] = []
+    for i, task in enumerate(tasks):
+        if ctx.journal is not None:
+            cached = ctx.journal.get(subtree_journal_key(task.depth, task.subset))
+            if cached is not None:
+                results[i] = cached
+                replayed.add(i)
+                continue
+        pending.append(task)
+        pending_positions.append(i)
+    if pending:
+        children = ctx.scheduler.run_siblings(
+            pending,
+            lambda task: _decompose_subtree(ctx, task.subset, task.depth, task.hint),
+            spec=ctx.spec(),
+        )
+        for position, child in zip(pending_positions, children):
+            results[position] = child
+    for i, (task, child) in enumerate(zip(tasks, results)):
+        if i in replayed or getattr(child, "_from_pool", False):
+            _bump(ctx, len(child.components))
+        if (
+            ctx.journal is not None
+            and i not in replayed
+            and _finished(child)
+        ):
+            ctx.journal.record(subtree_journal_key(task.depth, task.subset), child)
         outcome.absorb(child)
     return outcome
 
@@ -255,6 +377,19 @@ def _decompose_subtree(
     outcome = _SubtreeOutcome()
     if not subset:
         return outcome
+    if ctx.journal is not None:
+        cached = ctx.journal.get(subtree_journal_key(depth, subset))
+        if cached is not None:
+            # A completed run replayed from the top, or a resumed top-level
+            # subtree: the recorded outcome is bit-identical to a re-run.
+            _bump(ctx, len(cached.components))
+            return cached
+    if _expired(ctx):
+        # Deadline already spent before this subtree was touched: emit the
+        # whole subset as one flagged, uncertified, unfinished block.
+        # Never raise — ancestors keep merging and the run ends cleanly.
+        _emit(ctx, outcome, _unfinished_marker(subset, depth))
+        return outcome
     view: Optional[PeeledCSR] = None
     work: Optional[Graph] = None
     if (
@@ -280,8 +415,8 @@ def _decompose_subtree(
         # φ-expanders: they admit no cut at all.  repr-sorted so the
         # component order is canonical on every process.
         for v in sorted(subset, key=repr):
-            outcome.components.append(
-                ExpanderComponent(frozenset([v]), True, float("inf"), depth)
+            _emit(
+                ctx, outcome, ExpanderComponent(frozenset([v]), True, float("inf"), depth)
             )
         return outcome
 
@@ -307,11 +442,14 @@ def _decompose_subtree(
         return _run_children(ctx, outcome, tasks)
 
     if depth >= ctx.max_depth:
+        if _expired(ctx):
+            _emit(ctx, outcome, _unfinished_marker(subset, depth))
+            return outcome
         certified, estimate, _ = certify_conductance(
             target, ctx.phi, precomputed=hint
         )
-        outcome.components.append(
-            ExpanderComponent(frozenset(subset), certified, estimate, depth)
+        _emit(
+            ctx, outcome, ExpanderComponent(frozenset(subset), certified, estimate, depth)
         )
         return outcome
 
@@ -327,15 +465,29 @@ def _decompose_subtree(
         seed=split_stream(ctx.root, depth, component_stream_key(subset)),
         report=level_report,
         spectral_hint=hint,
+        deadline=ctx.deadline,
         **ctx.cut_kwargs,
     )
     outcome.reports.append(level_report)
     outcome.precheck_skips += cut_result.precheck_skips
 
+    if cut_result.interrupted:
+        # The deadline fired inside the cut search: the search's partial
+        # evidence proves nothing either way, so the subtree becomes one
+        # flagged unfinished block.  Checked before ``is_empty`` — an
+        # interrupted result is empty but is *not* a no-cut certificate.
+        _emit(ctx, outcome, _unfinished_marker(subset, depth))
+        return outcome
+
     split: Optional[frozenset] = None
     if not cut_result.is_empty:
         split = cut_result.cut
     else:
+        if _expired(ctx):
+            # Expired between the (certified) empty search and the final
+            # spectral check: don't start an eigensolve past the budget.
+            _emit(ctx, outcome, _unfinished_marker(subset, depth))
+            return outcome
         # Authoritative final check, straight off the working view on
         # the CSR path (no dict G{U} rebuild); an exact certificate the
         # fast path already computed for this very graph is reused.
@@ -343,8 +495,8 @@ def _decompose_subtree(
             target, ctx.phi, precomputed=cut_result.spectral or hint
         )
         if certified:
-            outcome.components.append(
-                ExpanderComponent(frozenset(subset), True, estimate, depth)
+            _emit(
+                ctx, outcome, ExpanderComponent(frozenset(subset), True, estimate, depth)
             )
             return outcome
         # Nibble certified "no cut" but the spectral check disagrees:
@@ -354,8 +506,8 @@ def _decompose_subtree(
             level_report.subreport("fallback_split").charge(target.num_vertices)
             split = frozenset(witness)
         else:
-            outcome.components.append(
-                ExpanderComponent(frozenset(subset), False, estimate, depth)
+            _emit(
+                ctx, outcome, ExpanderComponent(frozenset(subset), False, estimate, depth)
             )
             return outcome
 
@@ -425,6 +577,9 @@ def expander_decomposition(
     executor: Optional[Executor] = None,
     workers: Optional[int] = None,
     scheduler: Optional[ComponentScheduler] = None,
+    journal=None,
+    deadline=None,
+    on_progress=None,
 ) -> DecompositionResult:
     """Decompose ``graph`` into φ-expander components, removing ≤ ε·m edges.
 
@@ -504,6 +659,27 @@ def expander_decomposition(
         override for sibling-subtree execution (default: the scheduler the
         resolved engine implies — pooled for a sharded executor, inline
         otherwise).  The testing seam for scheduling-invariance suites.
+    journal:
+        A :class:`~repro.resilience.journal.RunJournal` for
+        checkpoint/resume.  Completed subtrees are recorded as the run
+        proceeds; a later call with the same journal, graph, seed, and
+        parameters replays them instead of recomputing, so a run killed
+        at any point resumes bit-identically — same components, same cut
+        edges, same RNG post-state as an uninterrupted run (the journal's
+        ``meta.json`` pins the run identity and a mismatched seed raises
+        :class:`ValueError`).  Journals are driver-side only; pool workers
+        never see one.
+    deadline:
+        A wall-clock budget: seconds (a float) or a prepared
+        :class:`~repro.resilience.deadline.Deadline`.  On expiry the run
+        stops cleanly and returns a :class:`PartialDecomposition` whose
+        untouched subtrees are flagged ``unfinished`` uncertified
+        components — never an exception, never silent wrongness, and (for
+        sequential runs) the finished components are a bitwise prefix of
+        the unbounded run's.
+    on_progress:
+        Callback receiving the cumulative emitted-component count as the
+        run proceeds — the feed for bench's heartbeat lines.
     """
     rng = ensure_rng(seed)
     engine, owned_engine = resolve_executor(executor, workers)
@@ -520,6 +696,21 @@ def expander_decomposition(
         "executor": engine,
         **(sparse_cut_kwargs or {}),
     }
+    # One draw, however many components are searched: every node of the
+    # recursion derives its stream from the root and its own address.
+    # Drawn before the journal is consulted, so a fully-replayed resume
+    # leaves the caller's generator in the same post-state as the
+    # uninterrupted run did.
+    root = stream_root(rng)
+    if journal is not None:
+        journal.bind(
+            root=root,
+            phi=phi,
+            mode=str(mode),
+            max_depth=int(max_depth),
+            num_vertices=int(graph.num_vertices),
+            num_edges=int(graph.num_edges),
+        )
     ctx = _SubtreeContext(
         graph=graph,
         host_is_csr=isinstance(graph, CSRGraph),
@@ -528,10 +719,11 @@ def expander_decomposition(
         schedule=schedule,
         max_depth=max_depth,
         cut_kwargs=cut_kwargs,
-        # One draw, however many components are searched: every node of the
-        # recursion derives its stream from the root and its own address.
-        root=stream_root(rng),
+        root=root,
         scheduler=resolve_scheduler(engine, scheduler),
+        journal=journal,
+        deadline=resolve_deadline(deadline),
+        on_progress=on_progress,
     )
     top = frozenset(graph.vertices if ctx.host_is_csr else graph.vertices())
     try:
@@ -539,10 +731,15 @@ def expander_decomposition(
     finally:
         if owned_engine:
             engine.close()
+    if journal is not None and _finished(outcome):
+        journal.record(subtree_journal_key(0, top), outcome)
     for level_report in outcome.reports:
         report.add_child(level_report)
 
-    return DecompositionResult(
+    result_type = (
+        DecompositionResult if _finished(outcome) else PartialDecomposition
+    )
+    return result_type(
         components=outcome.components,
         cut_edges=outcome.cut_edges,
         epsilon=epsilon,

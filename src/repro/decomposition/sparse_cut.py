@@ -53,6 +53,12 @@ from ..nibble.nibble import NibbleCut
 from ..nibble.parameters import NibbleParameters, ParameterMode, sample_scale
 from ..parallel.executor import SEQUENTIAL, Executor, resolve_executor
 from ..parallel.worker import run_nibble_instance
+from ..resilience.deadline import (
+    Deadline,
+    DeadlineExpired,
+    deadline_scope,
+    resolve_deadline,
+)
 from ..utils.rng import SeedLike, ensure_rng, stream_root
 from ..utils.rounds import RoundReport, parallel_rounds
 
@@ -264,6 +270,12 @@ class SparseCutResult:
     pre-check proved pointless and skipped (batch randomness is addressed
     by counter-derived streams, so a skipped batch's draws are simply
     never made — nothing downstream can notice).
+
+    ``interrupted`` marks a search cut short by its deadline: the result
+    then carries no cut and — crucially — is *not* a no-cut certificate
+    (``certified_no_cut`` stays False; the evidence is simply incomplete).
+    The decomposition driver turns an interrupted search into a flagged
+    unfinished component.
     """
 
     cut: frozenset
@@ -275,6 +287,7 @@ class SparseCutResult:
     report: RoundReport
     spectral: Optional[SpectralCertificate] = None
     precheck_skips: int = 0
+    interrupted: bool = False
 
     @property
     def is_empty(self) -> bool:
@@ -502,6 +515,7 @@ def nearly_most_balanced_sparse_cut(
     spectral_hint: Optional[SpectralCertificate] = None,
     executor: Optional[Executor] = None,
     workers: Optional[int] = None,
+    deadline: Optional[Deadline] = None,
 ) -> SparseCutResult:
     """Theorem 3: accumulate Nibble cuts into a nearly most balanced sparse cut.
 
@@ -557,9 +571,18 @@ def nearly_most_balanced_sparse_cut(
     batch_index)``, so the engine choice changes neither the cuts nor the
     caller's RNG stream — sequential, 1-worker, and N-worker runs are
     cut- and stream-identical.
+
+    ``deadline`` (a :class:`~repro.resilience.deadline.Deadline`, a number
+    of seconds, or None) bounds the wall-clock spent in this search.  The
+    deadline is checked between batches and — through the ambient deadline
+    scope — inside every diffusion-walk step, so expiry stops the search
+    within one walk step rather than one batch.  An expired search returns
+    an *interrupted* result: empty, not certified — the caller must treat
+    the component as unfinished, never as a certified expander.
     """
     rng = ensure_rng(seed)
     root = stream_root(rng)
+    deadline = resolve_deadline(deadline)
     engine, owned = resolve_executor(executor, workers)
     own_report = report if report is not None else RoundReport("sparse_cut")
     if isinstance(graph, PeeledCSR):
@@ -576,89 +599,128 @@ def nearly_most_balanced_sparse_cut(
     precheck_skips = 0
     spectral_cert: Optional[SpectralCertificate] = None
     checked = False  # whether the current working-graph state was pre-checked
+    interrupted = False
 
     try:
-        while (
-            work.num_edges > 0
-            and failures < max_failures
-            and accumulated_volume < balance_target * total_volume
-        ):
-            work.refresh()
-            params = NibbleParameters.for_mode(
-                work.search_graph, phi, mode, **(params_overrides or {})
-            )
-            batch_size = num_instances or default_num_instances(work.search_graph)
-            if fast_path and not checked:
-                checked = True
-                if spectral_hint is not None and not accumulated:
-                    bound, cert = spectral_hint.cheeger_lower_bound, spectral_hint
-                else:
-                    bound, cert = conductance_lower_bound(work.search_graph, phi=phi)
-                if cert is not None and cert.exact and not accumulated:
-                    # Valid for the *input* graph: nothing has been removed yet.
-                    spectral_cert = cert
-                if bound > phi + PRECHECK_MARGIN:
-                    # Φ(working graph) ≥ λ₂/2 > φ: no prefix can ever satisfy
-                    # (C.1), so every remaining batch until max_failures would
-                    # apply nothing.  Skip them — their counter-addressed
-                    # streams are simply never opened, so no downstream draw
-                    # can tell — and charge the pre-check's matvec rounds in
-                    # their place.
-                    skipped = max_failures - failures
-                    own_report.subreport("spectral_precheck").charge(
-                        2
-                        * math.ceil(
-                            math.log2(max(work.search_graph.num_vertices, 2))
-                        )
+        with deadline_scope(deadline):
+            try:
+                while (
+                    work.num_edges > 0
+                    and failures < max_failures
+                    and accumulated_volume < balance_target * total_volume
+                ):
+                    if deadline is not None and deadline.expired():
+                        interrupted = True
+                        break
+                    work.refresh()
+                    params = NibbleParameters.for_mode(
+                        work.search_graph, phi, mode, **(params_overrides or {})
                     )
-                    batches += skipped
-                    precheck_skips += skipped
-                    failures = max_failures
-                    break
-            batch_index = batches
-            batches += 1
-            cuts = parallel_nibble_cuts(
-                work.search_graph,
-                params,
-                batch_size,
-                report=own_report,
-                backend=backend,
-                adaptive=fast_path,
-                executor=engine,
-                stream=(root, batch_index),
-            )
-            applied = 0
-            for found in cuts:
-                if accumulated_volume >= balance_target * total_volume:
-                    break
-                cut_vertices = set(found.vertices)
-                # An earlier cut of this batch may have been flipped to the big
-                # side and swallowed this one's vertices; skip it then.
-                if not work.contains_all(cut_vertices):
-                    continue
-                # Keep S the small side of the working graph so its accumulation
-                # tracks the balance target rather than overshooting it.
-                if work.volume_of(cut_vertices) > work.total_volume() / 2.0:
-                    cut_vertices = work.complement(cut_vertices)
-                    if not cut_vertices:
-                        continue
-                work.remove(cut_vertices)
-                accumulated |= cut_vertices
-                accumulated_volume = work.initial_volume(accumulated)
-                applied += 1
-            # One union peel for the whole batch's cuts (see
-            # BATCHED_PEEL_ENABLED); a no-op on the dict path.
-            work.flush_batch()
-            if applied == 0:
-                failures += 1
-            else:
-                failures = 0
-                checked = False  # the working graph changed: re-check before
-                # the next batch (an unchanged graph keeps its verdict)
+                    batch_size = num_instances or default_num_instances(
+                        work.search_graph
+                    )
+                    if fast_path and not checked:
+                        checked = True
+                        if spectral_hint is not None and not accumulated:
+                            bound, cert = (
+                                spectral_hint.cheeger_lower_bound,
+                                spectral_hint,
+                            )
+                        else:
+                            bound, cert = conductance_lower_bound(
+                                work.search_graph, phi=phi
+                            )
+                        if cert is not None and cert.exact and not accumulated:
+                            # Valid for the *input* graph: nothing has been
+                            # removed yet.
+                            spectral_cert = cert
+                        if bound > phi + PRECHECK_MARGIN:
+                            # Φ(working graph) ≥ λ₂/2 > φ: no prefix can ever
+                            # satisfy (C.1), so every remaining batch until
+                            # max_failures would apply nothing.  Skip them —
+                            # their counter-addressed streams are simply never
+                            # opened, so no downstream draw can tell — and
+                            # charge the pre-check's matvec rounds in their
+                            # place.
+                            skipped = max_failures - failures
+                            own_report.subreport("spectral_precheck").charge(
+                                2
+                                * math.ceil(
+                                    math.log2(
+                                        max(work.search_graph.num_vertices, 2)
+                                    )
+                                )
+                            )
+                            batches += skipped
+                            precheck_skips += skipped
+                            failures = max_failures
+                            break
+                    batch_index = batches
+                    batches += 1
+                    cuts = parallel_nibble_cuts(
+                        work.search_graph,
+                        params,
+                        batch_size,
+                        report=own_report,
+                        backend=backend,
+                        adaptive=fast_path,
+                        executor=engine,
+                        stream=(root, batch_index),
+                    )
+                    applied = 0
+                    for found in cuts:
+                        if accumulated_volume >= balance_target * total_volume:
+                            break
+                        cut_vertices = set(found.vertices)
+                        # An earlier cut of this batch may have been flipped to
+                        # the big side and swallowed this one's vertices; skip
+                        # it then.
+                        if not work.contains_all(cut_vertices):
+                            continue
+                        # Keep S the small side of the working graph so its
+                        # accumulation tracks the balance target rather than
+                        # overshooting it.
+                        if work.volume_of(cut_vertices) > work.total_volume() / 2.0:
+                            cut_vertices = work.complement(cut_vertices)
+                            if not cut_vertices:
+                                continue
+                        work.remove(cut_vertices)
+                        accumulated |= cut_vertices
+                        accumulated_volume = work.initial_volume(accumulated)
+                        applied += 1
+                    # One union peel for the whole batch's cuts (see
+                    # BATCHED_PEEL_ENABLED); a no-op on the dict path.
+                    work.flush_batch()
+                    if applied == 0:
+                        failures += 1
+                    else:
+                        failures = 0
+                        checked = False  # the working graph changed: re-check
+                        # before the next batch (an unchanged graph keeps its
+                        # verdict)
+            except DeadlineExpired:
+                # A diffusion-walk step (or the pooled executor) noticed the
+                # expiry mid-batch: unwind cleanly.  The partially-applied
+                # state is discarded below — an interrupted search never
+                # reports a cut.
+                interrupted = True
     finally:
         if owned:
             engine.close()
 
+    if interrupted:
+        return SparseCutResult(
+            cut=frozenset(),
+            conductance=float("inf"),
+            balance=0.0,
+            cut_size=0,
+            certified_no_cut=False,
+            batches=batches,
+            report=own_report,
+            spectral=spectral_cert,
+            precheck_skips=precheck_skips,
+            interrupted=True,
+        )
     if not accumulated:
         return SparseCutResult(
             cut=frozenset(),

@@ -276,13 +276,70 @@ class CSRGraph:
         :class:`~repro.parallel.shared.SharedCSR` wrappers — composes
         unchanged.  The arrays are opened read-only, so an accidental
         write fails loudly instead of corrupting the snapshot.
+
+        The snapshot is validated before use: a missing, truncated, or
+        unreadable array, a non-integer or mismatched index dtype, or
+        inconsistent shapes all raise :class:`ValueError` naming the bad
+        file — a damaged snapshot (e.g. one torn by a mid-``to_mmap``
+        kill) must fail here, not as a wrong decomposition later.
         """
         source = Path(path)
-        indptr = np.load(source / "indptr.npy", mmap_mode="r")
-        indices = np.load(source / "indices.npy", mmap_mode="r")
-        loops = np.load(source / "loops.npy", mmap_mode="r")
-        with open(source / "vertices.pkl", "rb") as fh:
-            vertices = pickle.load(fh)
+        arrays = {}
+        for name in ("indptr", "indices", "loops"):
+            file = source / f"{name}.npy"
+            if not file.exists():
+                raise ValueError(f"mmap snapshot at {source} is missing {name}.npy")
+            try:
+                arrays[name] = np.load(file, mmap_mode="r")
+            except Exception as exc:
+                raise ValueError(
+                    f"mmap snapshot array {name}.npy at {source} is unreadable "
+                    f"or truncated ({type(exc).__name__}: {exc})"
+                ) from exc
+        indptr, indices, loops = arrays["indptr"], arrays["indices"], arrays["loops"]
+        for name in ("indptr", "indices"):
+            if arrays[name].dtype not in (np.dtype(np.int32), np.dtype(np.int64)):
+                raise ValueError(
+                    f"mmap snapshot array {name}.npy at {source} has dtype "
+                    f"{arrays[name].dtype}; expected int32 or int64"
+                )
+        if indptr.dtype != indices.dtype:
+            raise ValueError(
+                f"mmap snapshot at {source} mixes index dtypes: indptr.npy is "
+                f"{indptr.dtype} but indices.npy is {indices.dtype}"
+            )
+        if indptr.ndim != 1 or indptr.size < 1:
+            raise ValueError(
+                f"mmap snapshot array indptr.npy at {source} must be a "
+                f"non-empty 1-d array"
+            )
+        if indices.ndim != 1 or indices.size != int(indptr[-1]):
+            raise ValueError(
+                f"mmap snapshot array indices.npy at {source} has "
+                f"{indices.size} entries but indptr.npy promises "
+                f"{int(indptr[-1])}"
+            )
+        if loops.ndim != 1 or loops.size != indptr.size - 1:
+            raise ValueError(
+                f"mmap snapshot array loops.npy at {source} has {loops.size} "
+                f"entries for {indptr.size - 1} vertices"
+            )
+        vertices_file = source / "vertices.pkl"
+        if not vertices_file.exists():
+            raise ValueError(f"mmap snapshot at {source} is missing vertices.pkl")
+        try:
+            with open(vertices_file, "rb") as fh:
+                vertices = pickle.load(fh)
+        except Exception as exc:
+            raise ValueError(
+                f"mmap snapshot labels vertices.pkl at {source} are unreadable "
+                f"or truncated ({type(exc).__name__}: {exc})"
+            ) from exc
+        if len(vertices) != indptr.size - 1:
+            raise ValueError(
+                f"mmap snapshot labels vertices.pkl at {source} hold "
+                f"{len(vertices)} labels for {indptr.size - 1} vertices"
+            )
         return cls(indptr, indices, loops, vertices)
 
     # ------------------------------------------------------------------

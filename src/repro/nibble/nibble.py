@@ -41,6 +41,7 @@ from ..graphs import peel as peel_backend
 from ..graphs.csr import CSRGraph, resolve_backend
 from ..graphs.graph import Graph, Vertex
 from ..graphs.peel import PeeledCSR
+from ..resilience.deadline import check_walk_deadline
 from ..utils.rounds import RoundReport
 from ..walks.lazy_walk import truncated_walk_iter
 from .parameters import NibbleParameters
@@ -142,6 +143,7 @@ def scan_walk_sequence(
     previous: Optional[Mapping[Vertex, float]] = None
     tracker = WalkBudgetTracker(stable_steps) if stable_steps is not None else None
     for t, mass in enumerate(sequence):
+        check_walk_deadline()
         if t == 0:
             continue  # p̃_0 = χ_v is never certified (its prefix is trivial)
         if not mass:
@@ -250,6 +252,7 @@ def scan_walk_sequence_csr(
     previous: Optional[csr_backend.SparseMass] = None
     tracker = WalkBudgetTracker(stable_steps) if stable_steps is not None else None
     for t, mass in enumerate(sequence):
+        check_walk_deadline()
         if t == 0:
             continue  # p̃_0 = χ_v is never certified (its prefix is trivial)
         if mass[0].size == 0:

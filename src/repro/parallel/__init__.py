@@ -12,6 +12,7 @@ stream-identical.  ``docs/PARALLEL.md`` is the narrative companion.
 """
 
 from .executor import (
+    POOL_REBUILD_LIMIT,
     SEQUENTIAL,
     SHARD_MIN_VERTICES,
     BatchResult,
@@ -20,6 +21,7 @@ from .executor import (
     ShardedExecutor,
     resolve_executor,
     sequential_batch,
+    validate_batch_triples,
 )
 from .scheduler import (
     INLINE,
@@ -30,6 +32,7 @@ from .scheduler import (
     SubtreeSpec,
     SubtreeTask,
     resolve_scheduler,
+    validate_subtree_outcome,
 )
 from .shared import SharedCSR, SharedCSRMeta, shared_memory_available
 from .worker import run_nibble_instance, run_sharded_chunk, run_subtree
@@ -40,6 +43,7 @@ __all__ = [
     "Executor",
     "INLINE",
     "InlineScheduler",
+    "POOL_REBUILD_LIMIT",
     "PermutedScheduler",
     "PooledComponentScheduler",
     "SEQUENTIAL",
@@ -57,4 +61,6 @@ __all__ = [
     "run_subtree",
     "sequential_batch",
     "shared_memory_available",
+    "validate_batch_triples",
+    "validate_subtree_outcome",
 ]

@@ -29,11 +29,17 @@ group of sibling subtrees:
   .run_subtree` tasks against the one published
   :class:`~repro.parallel.shared.SharedCSR` host snapshot, while the small
   siblings run inline in the driver *concurrently* with the pool's work.
-  Any pool-side failure degrades the executor (one warning, permanently)
-  and re-runs the failed subtrees inline — bit-identically, per the stream
-  discipline.
+  Failures follow the executor's resilience policy: a crashed or hung
+  worker (per-subtree ``task_timeout``), or an outcome failing the
+  partition re-check, is one failure episode — the subtree re-runs inline
+  bit-identically, the pool is rebuilt for later groups, and only an
+  exhausted rebuild budget degrades the engine permanently.  An expired
+  :class:`~repro.resilience.deadline.Deadline` on the spec cancels the
+  outstanding pool work instead (not a fault) and lets each remaining
+  subtree emit its unfinished markers inline.
 
-``docs/PARALLEL.md`` is the narrative companion.
+``docs/PARALLEL.md`` and ``docs/RESILIENCE.md`` are the narrative
+companions.
 """
 
 from __future__ import annotations
@@ -43,7 +49,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from .executor import Executor, ShardedExecutor
+from ..resilience.events import ResultValidationError
+from .executor import TIMEOUT_ERRORS, Executor, ShardedExecutor
 from .worker import run_subtree
 
 
@@ -74,6 +81,12 @@ class SubtreeSpec:
     the driver's executor (worker-side batches run sequentially — workers
     never nest pools).  ``None`` at a dispatch site means the recursion has
     no CSR base (pure dict run), so every sibling runs inline.
+
+    ``deadline`` is the driver-side :class:`~repro.resilience.deadline
+    .Deadline` (never shipped to workers — it bounds how long the *driver*
+    waits on pool results; workers hit by a cancel are killed and their
+    subtrees re-enter the driver, where the expired deadline turns them
+    into flagged unfinished markers immediately).
     """
 
     base: object
@@ -83,6 +96,7 @@ class SubtreeSpec:
     max_depth: int
     cut_kwargs: dict
     root: int
+    deadline: Optional[object] = None
 
 
 #: The signature every scheduler implements: given the sibling tasks, a
@@ -90,6 +104,44 @@ class SubtreeSpec:
 #: :class:`SubtreeSpec` (or ``None``), return one outcome per task, in task
 #: order.
 RunInline = Callable[[SubtreeTask], object]
+
+
+def validate_subtree_outcome(outcome, subset: frozenset) -> None:
+    """Re-verify a pool-returned subtree outcome against its subset.
+
+    The component-level certification re-check: the outcome's components
+    must exactly partition the subtree's vertex set (every vertex in
+    exactly one component) and every recorded cut edge must join two
+    vertices of the subset.  A worker returning a corrupted outcome —
+    chaos-injected or real — therefore cannot slip a wrong decomposition
+    past the driver; the violation raises
+    :class:`~repro.resilience.events.ResultValidationError` and the
+    subtree is re-run inline, bit-identically.
+    """
+    try:
+        components = outcome.components
+        cut_edges = outcome.cut_edges
+    except AttributeError as exc:
+        raise ResultValidationError(
+            f"subtree outcome has no components/cut_edges: {outcome!r}"
+        ) from exc
+    covered = 0
+    seen: set = set()
+    for component in components:
+        covered += len(component.vertices)
+        seen |= component.vertices
+    if covered != len(subset) or seen != set(subset):
+        raise ResultValidationError(
+            f"subtree components cover {covered} vertex slots over "
+            f"{len(seen)} distinct vertices; expected an exact partition of "
+            f"the {len(subset)}-vertex subtree"
+        )
+    for edge in cut_edges:
+        u, v = edge
+        if u not in subset or v not in subset:
+            raise ResultValidationError(
+                f"subtree cut edge {edge!r} leaves the subtree's vertex set"
+            )
 
 
 class ComponentScheduler:
@@ -176,12 +228,13 @@ class PooledComponentScheduler(ComponentScheduler):
     :class:`~repro.parallel.shared.SharedCSR` snapshot cache (the host base
     is published once, however many subtrees restrict it), its
     ``min_shard_vertices`` floor (tiny siblings run inline — per-subtree
-    IPC would dominate their microsecond walks), and its degradation
-    discipline (:meth:`~repro.parallel.executor.ShardedExecutor._degrade`):
-    any pool-side failure marks the executor broken, warns once, and every
-    affected or future subtree runs inline instead — bit-identically,
-    because subtree randomness is addressed by
-    ``(root, depth, component_stream_key)``, not by placement.
+    IPC would dominate their microsecond walks), and its resilience policy
+    (:meth:`~repro.parallel.executor.ShardedExecutor._note_failure`):
+    a failed, hung, or lying worker costs one failure episode, its subtree
+    re-runs inline — bit-identically, because subtree randomness is
+    addressed by ``(root, depth, component_stream_key)``, not by placement
+    — and the pool is rebuilt for later sibling groups until the rebuild
+    budget is spent.
 
     Dispatch policy: with a CSR base and a healthy pool, every sibling at
     or above the size floor is shipped; the remainder run inline in the
@@ -202,10 +255,15 @@ class PooledComponentScheduler(ComponentScheduler):
     ) -> list:
         """Ship eligible siblings to the pool, run the rest inline, merge.
 
-        Outcomes come back in task order regardless of completion order.
-        A failed future degrades the executor (once) and falls back to
-        ``run_inline`` for its task — the stream discipline makes the
-        re-run identical to what the worker would have returned.
+        Outcomes come back in task order regardless of completion order;
+        pool-returned outcomes are re-verified (``verify_results``) and
+        tagged ``_from_pool`` so the driver can account progress for work
+        it did not run itself.  One failure episode is charged per sibling
+        group — a broken pool fails every outstanding future at once, and
+        charging each would spend the whole rebuild budget on one event —
+        and every affected subtree recovers inline.  A spec deadline
+        bounds each wait; its expiry cancels the remaining pool work
+        (killing the workers) without charging the budget.
         """
         engine = self.executor
         if (
@@ -215,47 +273,75 @@ class PooledComponentScheduler(ComponentScheduler):
             or len(tasks) < 2
         ):
             return [run_inline(task) for task in tasks]
+        deadline = getattr(spec, "deadline", None)
         futures: dict[int, object] = {}
-        try:
-            # Same-package reach into the executor's publication cache and
-            # pool: the scheduler is the executor's component-level face,
-            # not an outside caller.
-            meta = engine._publish(spec.base).meta
-            pool = engine._ensure_pool()
-            index = spec.base.index
-            for i, task in enumerate(tasks):
-                if len(task.subset) < engine.min_shard_vertices:
-                    continue
-                subset_indices = sorted(index[v] for v in task.subset)
-                futures[i] = pool.submit(
-                    run_subtree,
-                    meta,
-                    subset_indices,
-                    task.depth,
-                    task.hint,
-                    spec.phi,
-                    spec.mode,
-                    spec.schedule,
-                    spec.max_depth,
-                    spec.cut_kwargs,
-                    spec.root,
-                )
-        except Exception as exc:
-            if not engine._broken:
-                engine._degrade(exc)
-            futures = {}
+        if deadline is None or not deadline.expired():
+            try:
+                # Same-package reach into the executor's publication cache
+                # and pool: the scheduler is the executor's component-level
+                # face, not an outside caller.
+                meta = engine._publish(spec.base).meta
+                pool = engine._ensure_pool()
+                subtree_call, subtree_prefix = engine._subtree_call()
+                index = spec.base.index
+                for i, task in enumerate(tasks):
+                    if len(task.subset) < engine.min_shard_vertices:
+                        continue
+                    subset_indices = sorted(index[v] for v in task.subset)
+                    futures[i] = pool.submit(
+                        subtree_call,
+                        *subtree_prefix,
+                        meta,
+                        subset_indices,
+                        task.depth,
+                        task.hint,
+                        spec.phi,
+                        spec.mode,
+                        spec.schedule,
+                        spec.max_depth,
+                        spec.cut_kwargs,
+                        spec.root,
+                    )
+            except Exception as exc:
+                engine._note_failure(exc, scope="subtree")
+                futures = {}
         results: list = [None] * len(tasks)
         for i, task in enumerate(tasks):
             if i not in futures:
                 results[i] = run_inline(task)
+        failed_once = False
+        cancelled = False
         for i in sorted(futures):
             try:
-                results[i] = futures[i].result()
+                timeout = engine.task_timeout
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    timeout = remaining if timeout is None else min(timeout, remaining)
+                outcome = futures[i].result(timeout=timeout)
+                if engine.verify_results:
+                    validate_subtree_outcome(outcome, tasks[i].subset)
+                outcome._from_pool = True
+                results[i] = outcome
             except Exception as exc:
-                # A broken pool fails every outstanding future; degrade
-                # (and warn) only once, then recover each subtree inline.
-                if not engine._broken:
-                    engine._degrade(exc)
+                if (
+                    not cancelled
+                    and deadline is not None
+                    and deadline.expired()
+                    and isinstance(exc, TIMEOUT_ERRORS)
+                ):
+                    # The budget ran out while the pool was working: cancel
+                    # the rest (not a fault) and let the inline re-runs emit
+                    # their flagged unfinished markers instantly.
+                    cancelled = True
+                    engine._deadline_cancel("subtree")
+                elif not cancelled and not failed_once:
+                    # One episode per sibling group: tearing the pool down
+                    # fails every outstanding future of this group, and each
+                    # recovers inline below without further accounting.
+                    failed_once = True
+                    engine._note_failure(
+                        exc, scope="subtree", kill=isinstance(exc, TIMEOUT_ERRORS)
+                    )
                 results[i] = run_inline(tasks[i])
         return results
 
@@ -266,12 +352,14 @@ def resolve_scheduler(
     """The component scheduler implied by an executor (or an explicit one).
 
     An explicit ``scheduler`` wins (the testing seam); otherwise a
-    :class:`~repro.parallel.executor.ShardedExecutor` gets the pooled
-    scheduler sharing its pool and snapshot cache, and everything else —
-    the sequential oracle included — gets :data:`INLINE`.
+    :class:`~repro.parallel.executor.ShardedExecutor` answers through its
+    :meth:`~repro.parallel.executor.ShardedExecutor.component_scheduler`
+    hook — the pooled scheduler sharing its pool and snapshot cache, or
+    the chaos scheduler for a chaos engine — and everything else, the
+    sequential oracle included, gets :data:`INLINE`.
     """
     if scheduler is not None:
         return scheduler
     if isinstance(engine, ShardedExecutor):
-        return PooledComponentScheduler(engine)
+        return engine.component_scheduler()
     return INLINE

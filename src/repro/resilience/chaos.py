@@ -1,0 +1,249 @@
+"""Deterministic fault injection for the parallel execution layer.
+
+PR 9 tested the degrade paths with ad-hoc poisoned workers; this module
+promotes that into a reusable layer: a :class:`ChaosExecutor` /
+:class:`ChaosScheduler` pair that behaves exactly like the sharded engine
+except that each shipped work item — a ParallelNibble chunk or a
+recursion subtree — may be hit by a seeded fault:
+
+* **crash** — the worker raises :class:`ChaosInjectedCrash`;
+* **hang** — the worker sleeps past the engine's per-task timeout;
+* **slow** — the worker sleeps briefly, exercising completion races;
+* **corrupt** — the worker returns a *detectably wrong* result (a cut
+  whose recomputed conductance cannot match, a scale outside the
+  parameter schedule, a subtree outcome whose components no longer
+  partition the subtree), which the engine's re-verification layer must
+  catch and recover from.
+
+Fault decisions are a pure function of ``(ChaosSpec.seed, work-item
+address)`` — SHA-256, like every other cross-process key in this
+repository — so a chaos run is exactly reproducible: the same spec
+injects the same faults into the same chunks on any machine, any worker
+count, any scheduling order.  Because the retry layer recovers every
+fault by re-running the work inline on its counter-addressed streams, a
+chaos run's *outputs* must be bit-identical to the fault-free oracle —
+which is precisely what the chaos differential suite and the CI
+``chaos-parity`` job assert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, replace
+
+from ..parallel.executor import SHARD_MIN_VERTICES, ShardedExecutor
+from ..parallel.scheduler import PooledComponentScheduler
+
+
+class ChaosInjectedCrash(RuntimeError):
+    """The crash fault: raised inside a worker instead of doing the work."""
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """The fault plan: per-kind injection probabilities plus the chaos seed.
+
+    Probabilities are evaluated per work item from one uniform draw (the
+    SHA-256 of the item's address), checked in crash → hang → slow →
+    corrupt order, so the kinds are mutually exclusive per item and their
+    rates sum as given.  Frozen and plain-data: the spec is pickled to
+    every worker alongside the work itself.
+    """
+
+    seed: int = 0
+    crash: float = 0.0
+    hang: float = 0.0
+    slow: float = 0.0
+    corrupt: float = 0.0
+    #: How long a "hung" worker sleeps — far past any sane task timeout.
+    hang_seconds: float = 30.0
+    #: How long a "slow" worker sleeps — enough to scramble completion order.
+    slow_seconds: float = 0.02
+
+    def roll(self, *address) -> str:
+        """The fault (or ``"none"``) for a work item named by ``address``.
+
+        Deterministic across processes: the builtin ``hash`` is salted
+        per interpreter, so the draw is the SHA-256 of
+        ``repr((seed, *address))`` — the same technique
+        :func:`repro.utils.rng.component_stream_key` uses.
+        """
+        payload = repr((self.seed,) + tuple(address)).encode("utf-8")
+        digest = hashlib.sha256(payload).digest()
+        u = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        for kind, probability in (
+            ("crash", self.crash),
+            ("hang", self.hang),
+            ("slow", self.slow),
+            ("corrupt", self.corrupt),
+        ):
+            if u < probability:
+                return kind
+            u -= probability
+        return "none"
+
+
+def _corrupt_triples(results):
+    """Make a batch result detectably wrong (the corrupt fault's payload).
+
+    The first present cut gets its claimed conductance shifted by +0.5 —
+    impossible to reproduce from the cut's own vertices, so the driver's
+    recomputation must disagree.  A batch with no cuts gets an
+    out-of-schedule scale on its first triple instead (scales are bounded
+    by the parameter ``ell``).  Either way the corruption is *detectable
+    by re-verification*, never silently plausible.
+    """
+    corrupted = list(results)
+    for position, (index, scale, cut) in enumerate(corrupted):
+        if cut is not None:
+            corrupted[position] = (
+                index,
+                scale,
+                replace(cut, conductance=cut.conductance + 0.5),
+            )
+            return corrupted
+    if corrupted:
+        index, scale, cut = corrupted[0]
+        corrupted[0] = (index, 10**9, cut)
+    return corrupted
+
+
+def _corrupt_outcome(outcome):
+    """Make a subtree outcome detectably wrong: break the vertex partition.
+
+    Drops one vertex from the first multi-vertex component (the outcome's
+    components then no longer cover the subtree's subset), falling back
+    to dropping a whole component.  Caught by the scheduler's partition
+    re-verification.
+    """
+    for position, component in enumerate(outcome.components):
+        if len(component.vertices) > 1:
+            victim = min(component.vertices, key=repr)
+            outcome.components[position] = replace(
+                component, vertices=frozenset(component.vertices - {victim})
+            )
+            return outcome
+    if outcome.components:
+        outcome.components.pop()
+    return outcome
+
+
+def chaos_run_sharded_chunk(spec: ChaosSpec, *args):
+    """Worker-side chunk entrypoint with fault injection; pool-picklable.
+
+    Delegates to :func:`repro.parallel.worker.run_sharded_chunk` (the real
+    chunk body) unless the spec's roll for this chunk's address —
+    ``("chunk", root, batch_index, first_instance)`` — injects a fault.
+    """
+    from ..parallel.worker import run_sharded_chunk
+
+    root, batch_index, instance_indices = args[7], args[8], args[9]
+    first = instance_indices[0] if instance_indices else -1
+    fault = spec.roll("chunk", root, batch_index, first)
+    if fault == "crash":
+        raise ChaosInjectedCrash(
+            f"injected crash in chunk (batch {batch_index}, instances {instance_indices})"
+        )
+    if fault == "hang":
+        time.sleep(spec.hang_seconds)
+    elif fault == "slow":
+        time.sleep(spec.slow_seconds)
+    results = run_sharded_chunk(*args)
+    if fault == "corrupt":
+        results = _corrupt_triples(results)
+    return results
+
+
+def chaos_run_subtree(spec: ChaosSpec, *args):
+    """Worker-side subtree entrypoint with fault injection; pool-picklable.
+
+    Delegates to :func:`repro.parallel.worker.run_subtree` unless the roll
+    for this subtree's address — ``("subtree", root, depth, sorted subset
+    indices digest)`` — injects a fault.  The address uses the same facts
+    the subtree's own stream key does, so the fault plan is independent of
+    scheduling, exactly like the randomness it perturbs.
+    """
+    from ..parallel.worker import run_subtree
+
+    subset_indices, depth, root = args[1], args[2], args[9]
+    first = subset_indices[0] if subset_indices else -1
+    fault = spec.roll("subtree", root, depth, first, len(subset_indices))
+    if fault == "crash":
+        raise ChaosInjectedCrash(
+            f"injected crash in subtree (depth {depth}, n={len(subset_indices)})"
+        )
+    if fault == "hang":
+        time.sleep(spec.hang_seconds)
+    elif fault == "slow":
+        time.sleep(spec.slow_seconds)
+    outcome = run_subtree(*args)
+    if fault == "corrupt":
+        outcome = _corrupt_outcome(outcome)
+    return outcome
+
+
+class ChaosExecutor(ShardedExecutor):
+    """A sharded executor whose shipped work is fault-injected per the spec.
+
+    Everything else — publication cache, stream discipline, retry layer —
+    is inherited.  Guard rails the chaos contract needs are enforced at
+    construction: a non-zero hang rate requires a per-task timeout
+    (default 5 s) so no configuration can hang, a non-zero corrupt rate
+    forces result re-verification on so no corruption can pass, and the
+    rebuild budget defaults to effectively unlimited so injected faults
+    exercise the *retry* path rather than the terminal degrade (tests pin
+    the terminal path separately with ``max_pool_rebuilds=0``).
+    """
+
+    name = "chaos"
+
+    def __init__(
+        self,
+        workers: int,
+        spec: ChaosSpec = None,
+        min_shard_vertices: int = SHARD_MIN_VERTICES,
+        max_pool_rebuilds: int = 1_000_000,
+        task_timeout: float = None,
+        retry_backoff: float = 0.0,
+        verify_results: bool = True,
+    ) -> None:
+        spec = spec if spec is not None else ChaosSpec()
+        if spec.hang > 0 and task_timeout is None:
+            task_timeout = 5.0
+        if spec.corrupt > 0:
+            verify_results = True
+        super().__init__(
+            workers,
+            min_shard_vertices=min_shard_vertices,
+            max_pool_rebuilds=max_pool_rebuilds,
+            task_timeout=task_timeout,
+            retry_backoff=retry_backoff,
+            verify_results=verify_results,
+        )
+        self.spec = spec
+
+    def _chunk_call(self):
+        """Route batch chunks through :func:`chaos_run_sharded_chunk`."""
+        return chaos_run_sharded_chunk, (self.spec,)
+
+    def _subtree_call(self):
+        """Route subtrees through :func:`chaos_run_subtree`."""
+        return chaos_run_subtree, (self.spec,)
+
+    def component_scheduler(self):
+        """The chaos engine's component-level face."""
+        return ChaosScheduler(self)
+
+
+class ChaosScheduler(PooledComponentScheduler):
+    """The pooled component scheduler over a :class:`ChaosExecutor`.
+
+    A named subclass rather than new behaviour: subtree dispatch already
+    flows through the executor's ``_subtree_call`` hook, so wrapping a
+    chaos engine is all the fault injection needs — but the distinct
+    ``name`` keeps chaos runs identifiable in test parametrisation and
+    bench output.
+    """
+
+    name = "chaos-pooled"

@@ -92,6 +92,25 @@ def component_stream_key(vertices) -> int:
     return int.from_bytes(digest[:8], "big") >> 1
 
 
+def subtree_journal_key(depth: int, vertices) -> tuple[int, int, int]:
+    """The checkpoint address of one recursion subtree: collision-free per run.
+
+    The :class:`~repro.resilience.journal.RunJournal` keys each completed
+    subtree by ``(depth, component_stream_key(subset), len(subset))`` —
+    the same content-derived address that names the subtree's randomness,
+    so a journal written by a pooled run replays into a sequential one
+    and vice versa.  Collision-freedom within a run: subtrees rooted at
+    one depth are pairwise disjoint or nested.  Disjoint subsets have
+    distinct smallest vertex ``repr``\\ s, hence distinct stream keys;
+    the only same-depth *nested* pair — a disconnected subset and the
+    piece of it that shares its smallest vertex (pieces recurse at the
+    parent's depth) — shares the stream key but differs in size, which
+    the third field separates.  Cut children descend to ``depth + 1``,
+    so an ancestor can never collide with a descendant across depths.
+    """
+    return (int(depth), component_stream_key(vertices), len(vertices))
+
+
 def task_stream(root: int, batch_index: int, instance_index: int) -> np.random.Generator:
     """The canonical per-Nibble-instance stream: keyed by batch and instance.
 

@@ -184,15 +184,40 @@ def ambient_executor():
     engine is shared across the suite (one pool, one snapshot cache); the
     executor module's ``atexit`` backstop unlinks its segments at
     interpreter exit.
+
+    The ``chaos-parity`` job additionally sets ``REPRO_DIFF_CHAOS=<seed>``:
+    the engine becomes a :class:`~repro.resilience.chaos.ChaosExecutor`
+    injecting seeded crashes, slowdowns, and corrupted results into the
+    pooled work — every fault recovered by the retry layer, every run
+    still asserted bit-identical to the fault-free dict oracle.  Hangs are
+    exercised by the dedicated chaos tests (``tests/test_chaos.py``), not
+    ambiently: a per-item hang would multiply the whole suite's runtime by
+    the task timeout.
     """
     global _AMBIENT_EXECUTOR
     workers = int(os.environ.get("REPRO_DIFF_WORKERS", "0") or "0")
     if workers < 1:
         return None
     if _AMBIENT_EXECUTOR is None:
-        from repro.parallel import ShardedExecutor
+        chaos_seed = os.environ.get("REPRO_DIFF_CHAOS", "")
+        if chaos_seed:
+            from repro.resilience import ChaosExecutor, ChaosSpec
 
-        _AMBIENT_EXECUTOR = ShardedExecutor(workers, min_shard_vertices=1)
+            _AMBIENT_EXECUTOR = ChaosExecutor(
+                workers,
+                spec=ChaosSpec(
+                    seed=int(chaos_seed),
+                    crash=0.05,
+                    corrupt=0.05,
+                    slow=0.05,
+                    slow_seconds=0.01,
+                ),
+                min_shard_vertices=1,
+            )
+        else:
+            from repro.parallel import ShardedExecutor
+
+            _AMBIENT_EXECUTOR = ShardedExecutor(workers, min_shard_vertices=1)
     return _AMBIENT_EXECUTOR
 
 

@@ -202,7 +202,9 @@ class TestFaultInjection:
             raise RuntimeError("worker poisoned mid-run")
 
         monkeypatch.setattr(scheduler_module, "run_subtree", poisoned)
-        with ShardedExecutor(2, min_shard_vertices=1) as engine:
+        # max_pool_rebuilds=0 pins the historic first-failure-final policy
+        # (the default policy would rebuild a real pool and recover).
+        with ShardedExecutor(2, min_shard_vertices=1, max_pool_rebuilds=0) as engine:
             engine._pool = FakePool()  # execute submissions in-process
             with warnings.catch_warnings(record=True) as caught:
                 warnings.simplefilter("always")
@@ -226,8 +228,9 @@ class TestFaultInjection:
 
         monkeypatch.setattr(executor_module, "run_sharded_chunk", poisoned)
         # Keep subtree dispatch off (floor above n) so the *batch* level is
-        # the one that trips the poison.
-        with ShardedExecutor(2, min_shard_vertices=10_000) as engine:
+        # the one that trips the poison.  max_pool_rebuilds=0 pins the
+        # historic first-failure-final policy.
+        with ShardedExecutor(2, min_shard_vertices=10_000, max_pool_rebuilds=0) as engine:
             engine._pool = FakePool()
             engine.min_shard_vertices = 1
             with warnings.catch_warnings(record=True) as caught:
@@ -247,7 +250,7 @@ class TestFaultInjection:
         # them: still one warning, every subtree recovered inline.
         graph = ring_of_cliques(6, 8)
         expected = run(graph)
-        with ShardedExecutor(4, min_shard_vertices=1) as engine:
+        with ShardedExecutor(4, min_shard_vertices=1, max_pool_rebuilds=0) as engine:
             engine._pool = BrokenPool()
             with warnings.catch_warnings(record=True) as caught:
                 warnings.simplefilter("always")
@@ -264,16 +267,23 @@ class TestFaultInjection:
     @needs_shm
     def test_killed_worker_process_no_shm_leak(self):
         # A genuinely killed worker: os._exit(1) inside the pool breaks it
-        # for real.  The decomposition must still complete (inline, one
-        # warning) and close() must leave /dev/shm exactly as it found it.
+        # for real.  Under the default retry policy the engine rebuilds the
+        # pool, completes WITHOUT degrading (no warning — this is the
+        # regression test for the old executor-lifetime degrade), records a
+        # structured event, and close() leaves /dev/shm as it found it.
         graph = ring_of_cliques(6, 8)
         expected = run(graph)
         before = shm_entries()
         with ShardedExecutor(2, min_shard_vertices=1) as engine:
             with pytest.raises(BrokenProcessPool):
                 engine._ensure_pool().submit(os._exit, 1).result()
-            with pytest.warns(RuntimeWarning, match="degraded to sequential"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # a degrade warning would fail
                 got = run(graph, executor=engine)
+            assert not engine._broken, "one dead worker must not be fatal"
+            kinds = {event.kind for event in engine.events}
+            assert kinds <= {"pool-failure", "timeout"}
+            assert not any(event.fatal for event in engine.events)
         assert got == expected
         assert shm_entries() - before == set(), "leaked shared-memory segments"
 
@@ -281,7 +291,7 @@ class TestFaultInjection:
     def test_degraded_engine_stays_quiet_afterwards(self):
         graph = ring_of_cliques(6, 8)
         expected = run(graph)
-        with ShardedExecutor(2, min_shard_vertices=1) as engine:
+        with ShardedExecutor(2, min_shard_vertices=1, max_pool_rebuilds=0) as engine:
             engine._pool = BrokenPool()
             with pytest.warns(RuntimeWarning, match="degraded to sequential"):
                 first = run(graph, executor=engine)

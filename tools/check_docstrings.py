@@ -23,6 +23,7 @@ CHECKED_PATHS = [
     "src/repro/nibble",
     "src/repro/decomposition",
     "src/repro/parallel",
+    "src/repro/resilience",
     "src/repro/triangles",
     "src/repro/graphs/csr.py",
     "src/repro/graphs/peel.py",
@@ -37,6 +38,7 @@ REQUIRED_DOCS = [
     "docs/KERNELS.md",
     "docs/PARALLEL.md",
     "docs/PEELING.md",
+    "docs/RESILIENCE.md",
     "docs/TRIANGLES.md",
     "docs/WORLDS.md",
 ]
